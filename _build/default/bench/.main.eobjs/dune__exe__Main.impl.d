@@ -1,0 +1,1 @@
+bench/main.ml: Arg Cmd Cmdliner Micro Native_bench Nvt_harness Printf Term

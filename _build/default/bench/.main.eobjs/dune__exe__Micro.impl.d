@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Fmt Hashtbl Instance Measure Nvt_core Nvt_nvm Nvt_structures Printf Staged Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/native_bench.ml: Domain List Nvt_core Nvt_nvm Nvt_structures Nvt_workload Printf Unix

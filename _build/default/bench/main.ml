@@ -1,0 +1,66 @@
+(* Benchmark harness entry point.
+
+   bench/main.exe panels [IDS...] [--full] [--seed N]
+                                   figure panels (default: all, quick)
+   bench/main.exe recovery|sensitivity|mix
+                                   extension benches
+   bench/main.exe micro            Bechamel per-op latency (native)
+   bench/main.exe native           domain throughput (native)
+
+   Running with no command is equivalent to `panels` followed by every
+   extension bench — the full regeneration of the paper's evaluation. *)
+
+open Cmdliner
+
+let panel_ids =
+  Arg.(value & pos_all string [] & info [] ~docv:"PANEL" ~doc:"Figure ids, e.g. 5a 6g.")
+
+let full =
+  Arg.(value & flag & info [ "full" ] ~doc:"Paper-scale sweeps (slower).")
+
+let seed =
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Simulation seed.")
+
+let run_panels ids full seed =
+  let scale = if full then Nvt_harness.Panels.Full else Nvt_harness.Panels.Quick in
+  Printf.printf
+    "NVTraverse benchmark panels (%s scale). Simulated throughput; see \
+     EXPERIMENTS.md for shape comparison against the paper.\n"
+    (if full then "full" else "quick");
+  Nvt_harness.Panels.run ~seed ~scale ids;
+  if ids = [] then Nvt_harness.Extensions.all ()
+
+let panels_cmd =
+  Cmd.v (Cmd.info "panels" ~doc:"Regenerate the paper's figure panels")
+    Term.(const run_panels $ panel_ids $ full $ seed)
+
+let ext_cmd cmd_name doc =
+  let run () = Nvt_harness.Extensions.run cmd_name in
+  Cmd.v (Cmd.info cmd_name ~doc) Term.(const run $ const ())
+
+let micro_cmd =
+  Cmd.v
+    (Cmd.info "micro" ~doc:"Bechamel per-operation latency, native backend")
+    Term.(const Micro.run $ const ())
+
+let native_cmd =
+  Cmd.v
+    (Cmd.info "native" ~doc:"Real-domain throughput, native backend")
+    Term.(const Native_bench.run $ const ())
+
+let default = Term.(const run_panels $ panel_ids $ full $ seed)
+
+let () =
+  let info =
+    Cmd.info "nvtraverse-bench"
+      ~doc:"Regenerate the NVTraverse paper's evaluation"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [ panels_cmd;
+            ext_cmd "recovery" "Recovery time vs structure size";
+            ext_cmd "sensitivity" "Throughput vs fence cost";
+            ext_cmd "mix" "Flush/fence counts per operation";
+            micro_cmd;
+            native_cmd ]))

@@ -1,0 +1,148 @@
+(* nvtsim — a crash laboratory for durable data structures.
+
+   Runs a seeded workload on a chosen structure and persistence policy
+   over the simulated NVRAM machine, with optional crash injection, then
+   reports throughput, instruction mix, and the durable-linearizability
+   verdict. Examples:
+
+     nvtsim --structure list --policy volatile --crash 300
+     nvtsim --structure bst-nm --threads 8 --updates 50 --crash 200 --crash 400
+     nvtsim --structure skiplist --eviction 0.05 --seed 7 *)
+
+open Cmdliner
+module H = Nvt_harness
+module I = Nvt_harness.Instances
+
+module type SET = Nvt_core.Set_intf.SET
+
+let structures : (string * (string * (module SET)) list) list =
+  [ ("list",
+     [ ("nvt", (module I.Hl.Durable));
+       ("volatile", (module I.Hl.Volatile));
+       ("izraelevitz", (module I.Hl.Izraelevitz));
+       ("lp", (module I.Hl.Link_persist)) ]);
+    ("hash",
+     [ ("nvt", (module I.Ht.Durable));
+       ("volatile", (module I.Ht.Volatile));
+       ("izraelevitz", (module I.Ht.Izraelevitz));
+       ("lp", (module I.Ht.Link_persist)) ]);
+    ("bst-ellen",
+     [ ("nvt", (module I.Eb.Durable));
+       ("volatile", (module I.Eb.Volatile));
+       ("izraelevitz", (module I.Eb.Izraelevitz));
+       ("lp", (module I.Eb.Link_persist)) ]);
+    ("bst-nm",
+     [ ("nvt", (module I.Nm.Durable));
+       ("volatile", (module I.Nm.Volatile));
+       ("izraelevitz", (module I.Nm.Izraelevitz));
+       ("lp", (module I.Nm.Link_persist)) ]);
+    ("skiplist",
+     [ ("nvt", (module I.Sl.Durable));
+       ("volatile", (module I.Sl.Volatile));
+       ("izraelevitz", (module I.Sl.Izraelevitz));
+       ("lp", (module I.Sl.Link_persist)) ]);
+    ("onefile", [ ("nvt", (module I.Onefile_set)) ]) ]
+
+let structure =
+  let names = List.map fst structures in
+  Arg.(
+    value
+    & opt (enum (List.map (fun n -> (n, n)) names)) "list"
+    & info [ "structure"; "s" ] ~doc:"Structure: list, hash, bst-ellen, \
+                                      bst-nm, skiplist, onefile.")
+
+let policy =
+  Arg.(
+    value
+    & opt string "nvt"
+    & info [ "policy"; "p" ]
+        ~doc:"Persistence policy: nvt, volatile, izraelevitz, lp.")
+
+let threads = Arg.(value & opt int 4 & info [ "threads"; "t" ] ~doc:"Threads.")
+let ops = Arg.(value & opt int 100 & info [ "ops" ] ~doc:"Ops per thread.")
+let range = Arg.(value & opt int 64 & info [ "range" ] ~doc:"Key range.")
+let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Seed.")
+
+let updates =
+  Arg.(value & opt int 20 & info [ "updates"; "u" ] ~doc:"Update percentage.")
+
+let eviction =
+  Arg.(
+    value & opt float 0.0
+    & info [ "eviction" ] ~doc:"Random-eviction probability per step.")
+
+let stall =
+  Arg.(
+    value & opt float 0.0
+    & info [ "stall" ] ~doc:"Thread-stall probability per step.")
+
+let crashes =
+  Arg.(
+    value & opt_all int []
+    & info [ "crash" ] ~docv:"STEPS"
+        ~doc:"Crash this many steps into an era (repeatable; each crash \
+              is followed by recovery and a fresh era).")
+
+let dram =
+  Arg.(value & flag & info [ "dram" ] ~doc:"Use the DRAM cost profile.")
+
+let run s_name p_name threads ops range seed updates eviction stall crashes
+    dram =
+  let variants = List.assoc s_name structures in
+  match List.assoc_opt p_name variants with
+  | None ->
+    Printf.eprintf "no policy %s for %s (available: %s)\n" p_name s_name
+      (String.concat ", " (List.map fst variants));
+    exit 2
+  | Some set ->
+    let c =
+      { H.Crashlab.seed;
+        threads;
+        ops_per_thread = ops;
+        key_range = range;
+        mix = Nvt_workload.Workload.updates ~pct:updates;
+        cost =
+          (if dram then Nvt_nvm.Cost_model.dram else Nvt_nvm.Cost_model.nvram);
+        eviction =
+          (if eviction > 0.0 then Nvt_sim.Machine.Random_eviction eviction
+           else Nvt_sim.Machine.No_eviction);
+        stall =
+          (if stall > 0.0 then
+             Some { Nvt_sim.Machine.probability = stall; max_units = 20_000 }
+           else None);
+        crash_steps = crashes }
+    in
+    (match H.Crashlab.run set c with
+    | r ->
+      Printf.printf "structure:  %s (%s)\n" s_name p_name;
+      Printf.printf "operations: %d across %d era(s)\n" r.history_length
+        r.eras;
+      Printf.printf "final size: %d keys\n" r.final_size;
+      Printf.printf "makespan:   %d simulated ns (%.3f Mops/s)\n" r.makespan
+        (1e3 *. float_of_int r.history_length /. float_of_int r.makespan);
+      Printf.printf "instructions: %s\n"
+        (Format.asprintf "%a" Nvt_nvm.Stats.pp r.stats);
+      (match r.linearizable with
+      | Ok () -> print_endline "verdict:    durably linearizable"
+      | Error v ->
+        Format.printf "verdict:    VIOLATION@.%a@." Nvt_sim.Linearizability.pp_violation v;
+        exit 1)
+    | exception Nvt_sim.Machine.Corrupt_read cid ->
+      Printf.printf
+        "verdict:    CORRUPT MEMORY (cell %d read after crash without a \
+         persistent value)\n"
+        cid;
+      exit 1)
+
+let () =
+  let term =
+    Term.(
+      const run $ structure $ policy $ threads $ ops $ range $ seed $ updates
+      $ eviction $ stall $ crashes $ dram)
+  in
+  exit
+    (Cmd.eval
+       (Cmd.v
+          (Cmd.info "nvtsim"
+             ~doc:"Crash laboratory for durable lock-free data structures")
+          term))

@@ -1,0 +1,1 @@
+examples/crash_recovery.ml: List Nvt_core Nvt_nvm Nvt_sim Nvt_structures Printf Random

@@ -1,0 +1,1 @@
+examples/kv_store.ml: Format List Nvt_nvm Nvt_sim Nvt_structures Nvt_workload Printf

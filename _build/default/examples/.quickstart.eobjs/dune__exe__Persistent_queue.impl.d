@@ -1,0 +1,1 @@
+examples/persistent_queue.ml: List Nvt_nvm Nvt_sim Nvt_structures Printf

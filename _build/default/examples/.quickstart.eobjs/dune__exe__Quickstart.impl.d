@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Nvt_nvm Nvt_sim Nvt_structures Printf

@@ -1,0 +1,62 @@
+(* A persistent key-value store on the durable hash table, driven by
+   YCSB-like workloads — the scenario the paper's introduction motivates
+   (index structures for NVRAM-resident storage).
+
+   Compares the NVTraverse store against the Izraelevitz-transformed one
+   on the same workload and prints throughput and instruction mixes.
+
+   Run with:  dune exec examples/kv_store.exe *)
+
+module Machine = Nvt_sim.Machine
+module Mem = Nvt_sim.Memory
+module P = Nvt_nvm.Persist.Make (Mem)
+module Izr = Nvt_nvm.Izraelevitz.Make (Mem)
+module P_izr = Nvt_nvm.Persist.Make (Izr)
+module Workload = Nvt_workload.Workload
+
+module Store_nvt = Nvt_structures.Hash_table.Make (Mem) (P.Durable)
+module Store_izr = Nvt_structures.Hash_table.Make (Izr) (P_izr.Volatile)
+
+let range = 4096
+let threads = 8
+let ops_per_thread = 2000
+
+let run_store name create insert delete lookup mix =
+  let machine = Machine.create ~seed:7 ~cost:Nvt_nvm.Cost_model.nvram () in
+  let store = create () in
+  List.iter (fun k -> ignore (insert store k k)) (Workload.prefill_keys ~range);
+  Machine.persist_all machine;
+  for tid = 0 to threads - 1 do
+    let g = Workload.gen ~seed:(100 + tid) ~mix ~range in
+    ignore
+      (Machine.spawn machine (fun () ->
+           for _ = 1 to ops_per_thread do
+             match Workload.next g with
+             | Workload.Insert k -> ignore (insert store k (k * 2))
+             | Workload.Delete k -> ignore (delete store k)
+             | Workload.Lookup k -> ignore (lookup store k)
+           done))
+  done;
+  (match Machine.run machine with
+  | Machine.Completed -> ()
+  | Machine.Crashed_at _ -> assert false);
+  let ops = threads * ops_per_thread in
+  let makespan = Machine.makespan machine in
+  Printf.printf "%-22s %-10s %8.2f Mops/s   (%s)\n" name mix.Workload.name
+    (1e3 *. float_of_int ops /. float_of_int makespan)
+    (Format.asprintf "%a" Nvt_nvm.Stats.pp (Machine.stats machine))
+
+let () =
+  print_endline "YCSB-like workloads on a persistent KV store (8 threads):";
+  List.iter
+    (fun mix ->
+      run_store "NVTraverse store"
+        (fun () -> Store_nvt.create_sized (range / 2))
+        (fun s k v -> Store_nvt.insert s ~key:k ~value:v)
+        Store_nvt.delete Store_nvt.member mix;
+      run_store "Izraelevitz store"
+        (fun () -> Store_izr.create_sized (range / 2))
+        (fun s k v -> Store_izr.insert s ~key:k ~value:v)
+        Store_izr.delete Store_izr.member mix;
+      print_newline ())
+    [ Workload.ycsb_a; Workload.ycsb_b; Workload.ycsb_c ]

@@ -1,0 +1,72 @@
+(* A durable producer/consumer pipeline on the persistent MS queue:
+   tasks enqueued before a crash are never lost and never executed
+   twice — the at-most-once/at-least-once accounting a task queue on
+   NVRAM buys you.
+
+   Run with:  dune exec examples/persistent_queue.exe *)
+
+module Machine = Nvt_sim.Machine
+module Mem = Nvt_sim.Memory
+module P = Nvt_nvm.Persist.Make (Mem)
+module Q = Nvt_structures.Ms_queue.Make (Mem) (P.Durable)
+
+let () =
+  let machine = Machine.create ~seed:3 () in
+  let q = Q.create () in
+  Machine.persist_all machine;
+
+  let submitted = ref [] and processed = ref [] in
+  (* producers submit numbered tasks *)
+  for p = 0 to 1 do
+    ignore
+      (Machine.spawn machine (fun () ->
+           for i = 0 to 24 do
+             let task = (p * 1000) + i in
+             submitted := task :: !submitted;
+             Q.enqueue q task
+           done))
+  done;
+  (* consumers process them *)
+  for _ = 0 to 1 do
+    ignore
+      (Machine.spawn machine (fun () ->
+           for _ = 0 to 14 do
+             match Q.dequeue q with
+             | Some task -> processed := task :: !processed
+             | None -> ()
+           done))
+  done;
+
+  Machine.set_crash_at_step machine 1200;
+  (match Machine.run machine with
+  | Machine.Crashed_at t -> Printf.printf "power failed at t=%d\n" t
+  | Machine.Completed -> print_endline "no crash");
+  Machine.clear_crash machine;
+
+  Q.recover q;
+  Q.check_invariants q;
+  Printf.printf "recovered queue holds %d tasks\n" (Q.length q);
+
+  (* drain what is left in a second era *)
+  ignore
+    (Machine.spawn machine (fun () ->
+         let rec drain () =
+           match Q.dequeue q with
+           | Some task ->
+             processed := task :: !processed;
+             drain ()
+           | None -> ()
+         in
+         drain ()));
+  (match Machine.run machine with
+  | Machine.Completed -> ()
+  | Machine.Crashed_at _ -> assert false);
+
+  (* accounting *)
+  let dup =
+    List.length !processed - List.length (List.sort_uniq compare !processed)
+  in
+  Printf.printf "tasks processed: %d (duplicates: %d)\n"
+    (List.length !processed) dup;
+  assert (dup = 0);
+  print_endline "every task ran at most once; enqueued work survived the crash."

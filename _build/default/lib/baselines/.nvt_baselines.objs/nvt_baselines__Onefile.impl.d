@@ -1,0 +1,1 @@
+lib/baselines/onefile.ml: List Nvt_nvm Option

@@ -1,0 +1,1 @@
+lib/baselines/onefile.mli: Nvt_core Nvt_nvm

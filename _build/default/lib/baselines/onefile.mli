@@ -1,0 +1,40 @@
+(** A persistent software transactional memory in the style of OneFile
+    (Ramalhete et al., DSN 2019) — the PTM baseline of the paper's
+    evaluation — plus a sorted-list set built on it. Updates serialize
+    on a global sequence; read-only transactions are optimistic; commits
+    publish a persisted redo log before writing in place, so any thread
+    (or post-crash recovery) can complete them. See DESIGN.md for the
+    substitution notes versus real OneFile. *)
+
+module Make (M : Nvt_nvm.Memory.S) : sig
+  type 'a loc
+  (** A PTM-managed word: the value is sequence-stamped so stale helpers
+      cannot clobber later commits. *)
+
+  type t
+
+  val alloc : 'a -> 'a loc
+  val create : unit -> t
+
+  type txn
+
+  val tread : txn -> 'a loc -> 'a
+  val twrite : txn -> 'a loc -> 'a -> unit
+
+  val atomically : t -> (txn -> 'r) -> 'r
+  (** Run an update transaction to commit. The body may be re-executed;
+      it must not read a location it has written. On return, the
+      transaction is persistent. *)
+
+  val read_only : t -> (txn -> 'r) -> 'r
+  (** Optimistic read-only transaction; never takes the sequence. *)
+
+  val recover : t -> unit
+  (** Complete (from the persisted redo log) or abort the commit a crash
+      interrupted. *)
+end
+
+(** A sorted-list set whose every operation is one transaction — the
+    shape the paper benchmarks OneFile with on the list panels.
+    Satisfies {!Nvt_core.Set_intf.SET}. *)
+module Set (M : Nvt_nvm.Memory.S) : Nvt_core.Set_intf.SET

@@ -1,0 +1,1 @@
+lib/core/engine.ml: List Nvt_nvm

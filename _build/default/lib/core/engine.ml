@@ -1,0 +1,85 @@
+(* The NVTraverse transformation (Section 4, Algorithm 2).
+
+   Given the three methods of a traversal data structure — findEntry,
+   traverse, critical — this engine runs the operation loop and injects
+   every flush and fence the transformation prescribes:
+
+     - nothing is persisted during findEntry or traverse;
+     - ensureReachable persists the pointer that connects the returned
+       subtree to the rest of the structure, using either the node's
+       original-parent field (Supplement 2) or the k-last-parents
+       optimization of Lemma 4.1;
+     - makePersistent flushes every field the traversal read in the nodes
+       it returned, then executes one fence (which also covers
+       ensureReachable's flush);
+     - the critical method runs over Protocol 2-instrumented memory
+       (flush after shared reads, writes and CAS; fence before writes and
+       CAS — see {!Nvt_nvm.Protocol2});
+     - a fence executes before the operation returns.
+
+   Instantiated with the [Volatile] persistence policy, all of the above
+   erases and the engine runs the original lock-free algorithm. *)
+
+module Make (M : Nvt_nvm.Memory.S) (P : Nvt_nvm.Persist.Make(M).S) = struct
+  module Critical = Nvt_nvm.Protocol2.Make (M) (P)
+
+  type reachability =
+    | Original_parent of M.any
+        (** Supplement 2: the location of the pointer that first linked
+            the topmost returned node into the structure. *)
+    | Parents of M.any list
+        (** Lemma 4.1: the parent pointers on the last [k] steps of the
+            traversal, where [k] bounds the depth of any atomically
+            inserted subtree. *)
+
+  type 'nodes traversal = {
+    nodes : 'nodes;  (** what the critical method operates on *)
+    reach : reachability;
+    persist_set : M.any list;
+        (** the mutable fields the traversal read in the returned nodes *)
+  }
+
+  type 'r verdict = Restart | Finish of 'r
+
+  (* Testing hook: selectively disable one class of injected
+     instructions. Section 4.3 claims each class is necessary —
+     "removing any of them could violate the correctness of some
+     NVTraverse data structure" — and the ablation tests demonstrate it
+     by driving each disabled variant to a durability violation. *)
+  type ablation = {
+    skip_ensure_reachable : bool;
+    skip_persist_set : bool;  (* makePersistent's flushes (fence kept) *)
+    skip_final_fence : bool;  (* the fence before the operation returns *)
+  }
+
+  let no_ablation =
+    { skip_ensure_reachable = false;
+      skip_persist_set = false;
+      skip_final_fence = false }
+
+  let ablation = ref no_ablation
+
+  let ensure_reachable reach =
+    match reach with
+    | Original_parent l -> P.flush_any l
+    | Parents ls -> List.iter P.flush_any ls
+
+  let make_persistent locs =
+    List.iter P.flush_any locs;
+    P.fence ()
+
+  let operation ~find_entry ~traverse ~critical input =
+    let rec attempt () =
+      let entry = find_entry input in
+      let tr = traverse entry input in
+      let ab = !ablation in
+      if not ab.skip_ensure_reachable then ensure_reachable tr.reach;
+      make_persistent (if ab.skip_persist_set then [] else tr.persist_set);
+      match critical tr.nodes input with
+      | Restart -> attempt ()
+      | Finish v ->
+        if not ab.skip_final_fence then P.fence ();
+        v
+    in
+    attempt ()
+end

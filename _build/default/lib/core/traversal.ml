@@ -1,0 +1,67 @@
+(* The traversal-data-structure class (Section 3).
+
+   This module documents, as a checklist, the obligations a lock-free
+   algorithm must meet before the transformation in {!Engine} may be
+   applied to it. The obligations are semantic — they constrain how the
+   three methods behave — so they cannot be captured by an OCaml
+   signature alone; each structure in [lib/structures] carries a comment
+   discharging them, mirroring Section 3's arguments for Harris's list.
+
+   Property 1 (Correctness): the algorithm is linearizable and lock-free.
+
+   Property 2 (Core Tree): the part of the structure that must survive a
+   crash (its core) is a down-tree. Auxiliary nodes and links (skiplist
+   towers, queue head/tail pointers, hash-bucket directories) are entry
+   points only and are recomputed by [recover].
+
+   Property 3 (Operation Data): an operation attempt touches shared
+   memory only through one findEntry, then one traverse, then one
+   critical call, and receives no pointer into shared memory other than
+   the root.
+
+   Property 4 (Traversal Behavior): traverse never writes; it decides
+   whether to stop using only the current node, which pointer to follow
+   using only immutable fields of the current node, and what to return
+   using only data in the returned nodes; and a valueChange observed
+   between two same-input traversals can only move the returned nodes
+   up, never down (Traversal Stability).
+
+   Property 5 (Disconnection Behavior): nodes are marked before they are
+   disconnected; a contiguous marked set has exactly one legal
+   disconnecting instruction at its unmarked parent; and marked nodes can
+   be disconnected in any order with the same final state.
+
+   Supplement 1: a [disconnect root] function that only performs legal
+   disconnections and, run alone, leaves no marked node — this is the
+   whole recovery procedure.
+
+   Supplement 2: each node records the location of the pointer that first
+   linked it in (its original parent), unless the structure uses the
+   k-parents optimization of Lemma 4.1. *)
+
+type properties = {
+  correctness : string;
+  core_tree : string;
+  operation_data : string;
+  traversal_behavior : string;
+  disconnection : string;
+}
+(** A structure's discharge of the five properties, kept as data so that
+    examples and docs can print the argument next to the implementation. *)
+
+let harris_list =
+  { correctness = "Harris (DISC 2001): linearizable, lock-free sorted list.";
+    core_tree = "A singly-linked list is a down-tree; the head sentinel \
+                 is the root and only entry point.";
+    operation_data = "insert/delete/member take (root, key[, value]) and \
+                      are expressed as findEntry; traverse; critical.";
+    traversal_behavior = "The search loop reads only the current node's \
+                          next field; routing uses the immutable key; the \
+                          returned suffix is leftParent..left..right; a \
+                          mark observed after a stop at n makes a later \
+                          traversal return a node above n (its unmarked \
+                          left must precede n).";
+    disconnection = "The mark bit on next is set before any unlink; a \
+                     marked run below an unmarked left node is removed by \
+                     the unique CAS swinging left.next past the run; \
+                     marked runs commute." }

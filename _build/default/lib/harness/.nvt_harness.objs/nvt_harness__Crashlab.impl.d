@@ -1,0 +1,1 @@
+lib/harness/crashlab.ml: List Nvt_core Nvt_nvm Nvt_sim Nvt_workload

@@ -1,0 +1,1 @@
+lib/harness/extensions.ml: Eb Hl Ht Instances List Nm Nvt_core Nvt_nvm Nvt_sim Nvt_workload Printf Sl Throughput

@@ -1,0 +1,1 @@
+lib/harness/instances.ml: Nvt_baselines Nvt_core Nvt_nvm Nvt_sim Nvt_structures

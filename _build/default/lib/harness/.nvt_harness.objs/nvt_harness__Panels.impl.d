@@ -1,0 +1,1 @@
+lib/harness/panels.ml: Hashtbl Instances List Nvt_nvm Nvt_workload Printf Throughput

@@ -1,0 +1,1 @@
+lib/harness/throughput.ml: List Nvt_core Nvt_nvm Nvt_sim Nvt_workload

@@ -1,0 +1,1 @@
+lib/harness/throughput.mli: Nvt_core Nvt_nvm Nvt_workload

@@ -1,0 +1,127 @@
+(* Every structure x persistence-flavour instantiation over the
+   simulator backend, packed as first-class modules for the benchmark
+   panels and examples.
+
+   Flavours:
+   - [orig]    the original volatile lock-free algorithm;
+   - [nvt]     its NVTraverse transformation (this paper);
+   - [izr]     the general transformation of Izraelevitz et al.;
+   - [lp]      NVTraverse placement over link-and-persist flushes
+               (the David-et-al-style hand-tuned baseline);
+   - [onefile] the PTM baseline (its own module, lists only). *)
+
+module Nvm = Nvt_nvm
+module Sim_mem = Nvt_sim.Memory
+module P = Nvm.Persist.Make (Sim_mem)
+module Izr = Nvm.Izraelevitz.Make (Sim_mem)
+module P_izr = Nvm.Persist.Make (Izr)
+module Lp = Nvm.Link_and_persist.Make (Sim_mem)
+module P_lp = Nvm.Persist.Make (Lp)
+
+module type SET = Nvt_core.Set_intf.SET
+
+module Hl = struct
+  module Volatile = Nvt_structures.Harris_list.Make (Sim_mem) (P.Volatile)
+  module Durable = Nvt_structures.Harris_list.Make (Sim_mem) (P.Durable)
+  module Izraelevitz = Nvt_structures.Harris_list.Make (Izr) (P_izr.Volatile)
+  module Link_persist = Nvt_structures.Harris_list.Make (Lp) (P_lp.Durable)
+end
+
+module Eb = struct
+  module Volatile = Nvt_structures.Ellen_bst.Make (Sim_mem) (P.Volatile)
+  module Durable = Nvt_structures.Ellen_bst.Make (Sim_mem) (P.Durable)
+  module Izraelevitz = Nvt_structures.Ellen_bst.Make (Izr) (P_izr.Volatile)
+  module Link_persist = Nvt_structures.Ellen_bst.Make (Lp) (P_lp.Durable)
+end
+
+module Nm = struct
+  module Volatile = Nvt_structures.Natarajan_bst.Make (Sim_mem) (P.Volatile)
+  module Durable = Nvt_structures.Natarajan_bst.Make (Sim_mem) (P.Durable)
+  module Izraelevitz = Nvt_structures.Natarajan_bst.Make (Izr) (P_izr.Volatile)
+  module Link_persist = Nvt_structures.Natarajan_bst.Make (Lp) (P_lp.Durable)
+end
+
+module Sl = struct
+  module Volatile = Nvt_structures.Skiplist.Make (Sim_mem) (P.Volatile)
+  module Durable = Nvt_structures.Skiplist.Make (Sim_mem) (P.Durable)
+  module Izraelevitz = Nvt_structures.Skiplist.Make (Izr) (P_izr.Volatile)
+  module Link_persist = Nvt_structures.Skiplist.Make (Lp) (P_lp.Durable)
+end
+
+(* Hash tables size their directory from this knob so that panels
+   sweeping the key range keep roughly one key per bucket, as in the
+   paper's low-contention hash experiments. *)
+let hash_buckets = ref 1024
+
+module Ht = struct
+  module Base = Nvt_structures.Hash_table
+
+  module Volatile = struct
+    include Base.Make (Sim_mem) (P.Volatile)
+
+    let create () = create_sized !hash_buckets
+  end
+
+  module Durable = struct
+    include Base.Make (Sim_mem) (P.Durable)
+
+    let create () = create_sized !hash_buckets
+  end
+
+  module Izraelevitz = struct
+    include Base.Make (Izr) (P_izr.Volatile)
+
+    let create () = create_sized !hash_buckets
+  end
+
+  module Link_persist = struct
+    include Base.Make (Lp) (P_lp.Durable)
+
+    let create () = create_sized !hash_buckets
+  end
+end
+
+module Onefile_set = Nvt_baselines.Onefile.Set (Sim_mem)
+
+type series = { label : string; set : (module SET); ops_scale : float }
+(* [ops_scale] shrinks the measured-operation count for very slow
+   baselines (Izraelevitz on long lists): throughput is a ratio, so
+   fewer samples converge to the same estimate at a fraction of the
+   simulation cost. *)
+
+let s ?(ops_scale = 1.0) label set = { label; set; ops_scale }
+
+let list_series ~with_onefile ~with_lp =
+  [ s "orig" (module Hl.Volatile : SET);
+    s "nvt" (module Hl.Durable : SET);
+    s ~ops_scale:0.1 "izr" (module Hl.Izraelevitz : SET) ]
+  @ (if with_lp then [ s "lp" (module Hl.Link_persist : SET) ] else [])
+  @
+  if with_onefile then
+    [ s ~ops_scale:0.25 "onefile" (module Onefile_set : SET) ]
+  else []
+
+let hash_series ~with_lp =
+  [ s "orig" (module Ht.Volatile : SET);
+    s "nvt" (module Ht.Durable : SET);
+    s ~ops_scale:0.25 "izr" (module Ht.Izraelevitz : SET) ]
+  @ if with_lp then [ s "lp" (module Ht.Link_persist : SET) ] else []
+
+let bst_series ~with_onefile ~with_lp =
+  [ s "orig(nm)" (module Nm.Volatile : SET);
+    s "nvt(ellen)" (module Eb.Durable : SET);
+    s "nvt(nm)" (module Nm.Durable : SET);
+    s ~ops_scale:0.25 "izr(nm)" (module Nm.Izraelevitz : SET) ]
+  @ (if with_lp then [ s "lp(nm)" (module Nm.Link_persist : SET) ] else [])
+  @
+  (* the PTM set is a sorted list, so on tree-sized key ranges each of
+     its operations costs O(n); a small sample suffices for the ratio *)
+  if with_onefile then
+    [ s ~ops_scale:0.02 "onefile" (module Onefile_set : SET) ]
+  else []
+
+let skiplist_series ~with_lp =
+  [ s "orig" (module Sl.Volatile : SET);
+    s "nvt" (module Sl.Durable : SET);
+    s ~ops_scale:0.25 "izr" (module Sl.Izraelevitz : SET) ]
+  @ if with_lp then [ s "lp" (module Sl.Link_persist : SET) ] else []

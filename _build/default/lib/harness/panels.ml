@@ -1,0 +1,285 @@
+(* One panel per figure of the paper's evaluation (Figures 5a-f on the
+   NVRAM cost profile, 6g-o on the DRAM profile). Each panel prints the
+   throughput series the figure plots, plus the flush/fence mix per
+   operation that explains them. Sizes marked "(scaled)" in DESIGN.md
+   are reduced to simulation scale; EXPERIMENTS.md records the mapping
+   and compares shapes against the paper. *)
+
+module Cost_model = Nvt_nvm.Cost_model
+module Workload = Nvt_workload.Workload
+open Instances
+
+type scale = Quick | Full
+
+type sweep = Threads of int list | Range of int list | Updates of int list
+
+type panel = {
+  id : string;
+  title : string;
+  cost : Cost_model.t;
+  series : series list;
+  sweep : sweep;
+  threads : int;  (* fixed thread count when sweeping range/updates *)
+  range : int;  (* fixed range when sweeping threads/updates *)
+  mix : Workload.mix;  (* fixed mix when sweeping threads/range *)
+  base_ops : int;  (* measured ops per sweep point at scale=Quick *)
+  hash_sized : bool;  (* size the hash directory to the key range *)
+}
+
+let threads_sweep scale =
+  match scale with
+  | Quick -> [ 1; 2; 4; 8; 16 ]
+  | Full -> [ 1; 2; 4; 8; 16; 32; 48; 64 ]
+
+let updates_sweep = [ 0; 5; 10; 20; 50; 100 ]
+
+let list_sizes scale =
+  match scale with
+  | Quick -> [ 128; 256; 512; 1024; 2048 ]
+  | Full -> [ 128; 256; 512; 1024; 2048; 4096; 8192 ]
+
+let big_range scale = match scale with Quick -> 8192 | Full -> 65536
+
+let panels scale =
+  let nvram = Cost_model.nvram and dram = Cost_model.dram in
+  let big = big_range scale in
+  [ { id = "5a";
+      title = "Linked list: throughput vs threads (80% lookups, 512 of 1024 \
+               keys) [NVRAM]";
+      cost = nvram;
+      series = list_series ~with_onefile:true ~with_lp:false;
+      sweep = Threads (threads_sweep scale);
+      threads = 16;
+      range = 1024;
+      mix = Workload.default;
+      base_ops = 2000;
+      hash_sized = false };
+    { id = "5b";
+      title = "Linked list: throughput vs size (16 threads, 80% lookups) \
+               [NVRAM]";
+      cost = nvram;
+      series = list_series ~with_onefile:true ~with_lp:false;
+      sweep = Range (list_sizes scale);
+      threads = 16;
+      range = 1024;
+      mix = Workload.default;
+      base_ops = 2000;
+      hash_sized = false };
+    { id = "5c";
+      title = "Linked list: throughput vs update%% (16 threads, 500 of 1000 \
+               keys) [NVRAM]";
+      cost = nvram;
+      series = list_series ~with_onefile:true ~with_lp:false;
+      sweep = Updates updates_sweep;
+      threads = 16;
+      range = 1000;
+      mix = Workload.default;
+      base_ops = 2000;
+      hash_sized = false };
+    { id = "5d";
+      title = "Hash table: throughput vs update%% (16 threads) [NVRAM]";
+      cost = nvram;
+      series = hash_series ~with_lp:false;
+      sweep = Updates updates_sweep;
+      threads = 16;
+      range = big;
+      mix = Workload.default;
+      base_ops = 20000;
+      hash_sized = true };
+    { id = "5e";
+      title = "BST: throughput vs update%% (16 threads) [NVRAM]";
+      cost = nvram;
+      (* the O(n)-transaction PTM set is impractical on full-scale tree
+         panels; its comparison lives on the list panels *)
+      series = bst_series ~with_onefile:(scale = Quick) ~with_lp:false;
+      sweep = Updates updates_sweep;
+      threads = 16;
+      range = big;
+      mix = Workload.default;
+      base_ops = 10000;
+      hash_sized = false };
+    { id = "5f";
+      title = "Skiplist: throughput vs update%% (16 threads) [NVRAM]";
+      cost = nvram;
+      series = skiplist_series ~with_lp:false;
+      sweep = Updates updates_sweep;
+      threads = 16;
+      range = big;
+      mix = Workload.default;
+      base_ops = 10000;
+      hash_sized = false };
+    { id = "6g";
+      title = "Linked list: throughput vs threads (80% lookups, 8192 keys) \
+               [DRAM]";
+      cost = dram;
+      series = list_series ~with_onefile:false ~with_lp:true;
+      sweep = Threads (threads_sweep scale);
+      threads = 16;
+      range = (match scale with Quick -> 2048 | Full -> 16384);
+      mix = Workload.default;
+      base_ops = 1000;
+      hash_sized = false };
+    { id = "6h";
+      title = "Linked list: throughput vs update%% (64 threads, 8192 keys) \
+               [DRAM]";
+      cost = dram;
+      series = list_series ~with_onefile:true ~with_lp:true;
+      sweep = Updates updates_sweep;
+      threads = (match scale with Quick -> 16 | Full -> 64);
+      range = (match scale with Quick -> 2048 | Full -> 16384);
+      mix = Workload.default;
+      base_ops = 1000;
+      hash_sized = false };
+    { id = "6i";
+      title = "Linked list: throughput vs size (64 threads, 80% lookups) \
+               [DRAM]";
+      cost = dram;
+      series = list_series ~with_onefile:false ~with_lp:true;
+      sweep = Range (list_sizes scale);
+      threads = (match scale with Quick -> 16 | Full -> 64);
+      range = 1024;
+      mix = Workload.default;
+      base_ops = 1000;
+      hash_sized = false };
+    { id = "6j";
+      title = "Hash table: throughput vs threads (80% lookups) [DRAM]";
+      cost = dram;
+      series = hash_series ~with_lp:true;
+      sweep = Threads (threads_sweep scale);
+      threads = 16;
+      range = big;
+      mix = Workload.default;
+      base_ops = 20000;
+      hash_sized = true };
+    { id = "6k";
+      title = "Hash table: throughput vs update%% (16 threads) [DRAM]";
+      cost = dram;
+      series = hash_series ~with_lp:true;
+      sweep = Updates updates_sweep;
+      threads = 16;
+      range = big;
+      mix = Workload.default;
+      base_ops = 20000;
+      hash_sized = true };
+    { id = "6l";
+      title = "Hash table: throughput vs size (16 threads, 80% lookups) \
+               [DRAM]";
+      cost = dram;
+      series = hash_series ~with_lp:true;
+      sweep =
+        Range
+          (match scale with
+          | Quick -> [ 1024; 4096; 16384 ]
+          | Full -> [ 1024; 4096; 16384; 65536; 262144 ]);
+      threads = 16;
+      range = big;
+      mix = Workload.default;
+      base_ops = 20000;
+      hash_sized = true };
+    { id = "6m";
+      title = "BST: throughput vs update%% (16 threads) [DRAM]";
+      cost = dram;
+      series = bst_series ~with_onefile:false ~with_lp:true;
+      sweep = Updates updates_sweep;
+      threads = 16;
+      range = big;
+      mix = Workload.default;
+      base_ops = 10000;
+      hash_sized = false };
+    { id = "6n";
+      title = "Skiplist: throughput vs threads (80% lookups, 20% updates) \
+               [DRAM]";
+      cost = dram;
+      series = skiplist_series ~with_lp:true;
+      sweep = Threads (threads_sweep scale);
+      threads = 16;
+      range = big;
+      mix = Workload.updates ~pct:20;
+      base_ops = 10000;
+      hash_sized = false };
+    { id = "6o";
+      title = "Skiplist: throughput vs update%% (64 threads) [DRAM]";
+      cost = dram;
+      series = skiplist_series ~with_lp:true;
+      sweep = Updates updates_sweep;
+      threads = (match scale with Quick -> 16 | Full -> 64);
+      range = big;
+      mix = Workload.default;
+      base_ops = 10000;
+      hash_sized = false }
+  ]
+
+let sweep_points = function
+  | Threads ts -> List.map (fun t -> (string_of_int t, `Threads t)) ts
+  | Range rs -> List.map (fun r -> (string_of_int r, `Range r)) rs
+  | Updates us -> List.map (fun u -> (string_of_int u, `Updates u)) us
+
+let sweep_label = function
+  | Threads _ -> "threads"
+  | Range _ -> "size"
+  | Updates _ -> "update%"
+
+let params_for panel point =
+  let threads, range, mix =
+    match point with
+    | `Threads t -> (t, panel.range, panel.mix)
+    | `Range r -> (panel.threads, r, panel.mix)
+    | `Updates u -> (panel.threads, panel.range, Workload.updates ~pct:u)
+  in
+  { Throughput.threads; range; mix; total_ops = panel.base_ops }
+
+let run_panel ?(seed = 1) (panel : panel) =
+  Printf.printf "\n# Fig %s — %s\n" panel.id panel.title;
+  Printf.printf "%-8s" (sweep_label panel.sweep);
+  List.iter (fun s -> Printf.printf " %12s" s.label) panel.series;
+  print_newline ();
+  let mix_totals = Hashtbl.create 8 in
+  List.iter
+    (fun (label, point) ->
+      Printf.printf "%-8s" label;
+      List.iter
+        (fun series ->
+          let p = params_for panel point in
+          if panel.hash_sized then
+            Instances.hash_buckets := max 16 (p.range / 2);
+          let p =
+            { p with
+              Throughput.total_ops =
+                max p.Throughput.threads
+                  (int_of_float
+                     (float_of_int p.Throughput.total_ops *. series.ops_scale))
+            }
+          in
+          let r = Throughput.run series.set ~cost:panel.cost ~seed p in
+          Hashtbl.replace mix_totals series.label
+            (r.flushes_per_op, r.fences_per_op);
+          Printf.printf " %12.3f" r.mops)
+        panel.series;
+      print_newline ())
+    (sweep_points panel.sweep);
+  Printf.printf "(flushes/op, fences/op at last point:";
+  List.iter
+    (fun s ->
+      match Hashtbl.find_opt mix_totals s.label with
+      | Some (fl, fe) -> Printf.printf " %s=%.1f/%.1f" s.label fl fe
+      | None -> ())
+    panel.series;
+  Printf.printf ")\n%!"
+
+let all_ids scale = List.map (fun p -> p.id) (panels scale)
+
+let run ?seed ~scale ids =
+  let available = panels scale in
+  let chosen =
+    if ids = [] then available
+    else
+      List.filter_map
+        (fun id ->
+          match List.find_opt (fun p -> p.id = id) available with
+          | Some p -> Some p
+          | None ->
+            Printf.eprintf "unknown panel %s\n" id;
+            None)
+        ids
+  in
+  List.iter (run_panel ?seed) chosen

@@ -1,0 +1,69 @@
+(* The simulated-throughput runner behind every figure panel.
+
+   A run pre-fills the structure to half its key range, persists
+   everything, then spawns N simulated threads each executing a slice of
+   the operation budget under the given mix. Throughput is operations
+   per unit of simulated makespan; with the cost models calibrated in
+   abstract nanoseconds, the reported figure reads as Mops/s.
+
+   Alongside throughput the runner reports flushes and fences per
+   operation — the quantities the paper's analysis attributes the
+   performance differences to. *)
+
+module Machine = Nvt_sim.Machine
+module Stats = Nvt_nvm.Stats
+module Workload = Nvt_workload.Workload
+
+module type SET = Nvt_core.Set_intf.SET
+
+type params = {
+  threads : int;
+  range : int;
+  mix : Workload.mix;
+  total_ops : int;  (* split across threads *)
+}
+
+type result = {
+  ops : int;
+  makespan : int;
+  mops : float;  (* ops per 1e6 simulated time units *)
+  flushes_per_op : float;
+  fences_per_op : float;
+  cas_failure_rate : float;
+}
+
+let run (module S : SET) ~cost ~seed (p : params) =
+  let m = Machine.create ~seed ~cost ~jitter:2 () in
+  let s = S.create () in
+  List.iter
+    (fun k ->
+      if k < p.range then ignore (S.insert s ~key:k ~value:k))
+    (Workload.prefill_keys ~range:p.range);
+  Machine.persist_all m;
+  let before = Stats.copy (Machine.stats m) in
+  let per_thread = max 1 (p.total_ops / p.threads) in
+  let ops = p.threads * per_thread in
+  for tid = 0 to p.threads - 1 do
+    let g = Workload.gen ~seed:((seed * 977) + tid) ~mix:p.mix ~range:p.range in
+    ignore
+      (Machine.spawn m (fun () ->
+           for _ = 1 to per_thread do
+             match Workload.next g with
+             | Workload.Insert k -> ignore (S.insert s ~key:k ~value:k)
+             | Workload.Delete k -> ignore (S.delete s k)
+             | Workload.Lookup k -> ignore (S.member s k)
+           done))
+  done;
+  (match Machine.run m with
+  | Machine.Completed -> ()
+  | Machine.Crashed_at _ -> assert false);
+  let stats = Stats.diff ~after:(Machine.stats m) ~before in
+  let makespan = max 1 (Machine.makespan m) in
+  { ops;
+    makespan;
+    mops = 1e3 *. float_of_int ops /. float_of_int makespan;
+    flushes_per_op = float_of_int stats.flushes /. float_of_int ops;
+    fences_per_op = float_of_int stats.fences /. float_of_int ops;
+    cas_failure_rate =
+      (if stats.cas = 0 then 0.0
+       else float_of_int stats.cas_failures /. float_of_int stats.cas) }

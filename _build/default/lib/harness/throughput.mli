@@ -1,0 +1,24 @@
+(** The simulated-throughput runner behind every figure panel: prefill
+    to half the key range, persist, spawn N simulated threads over the
+    operation mix, and report operations per simulated microsecond plus
+    the flush/fence mix. *)
+
+module type SET = Nvt_core.Set_intf.SET
+
+type params = {
+  threads : int;
+  range : int;
+  mix : Nvt_workload.Workload.mix;
+  total_ops : int;  (** split across threads *)
+}
+
+type result = {
+  ops : int;
+  makespan : int;  (** virtual time *)
+  mops : float;  (** ops per 1e6 simulated time units *)
+  flushes_per_op : float;
+  fences_per_op : float;
+  cas_failure_rate : float;
+}
+
+val run : (module SET) -> cost:Nvt_nvm.Cost_model.t -> seed:int -> params -> result

@@ -1,0 +1,1 @@
+lib/nvm/izraelevitz.ml: Memory

@@ -1,0 +1,1 @@
+lib/nvm/link_and_persist.ml: Memory

@@ -1,0 +1,1 @@
+lib/nvm/native.ml: Atomic Domain List Mutex Stats Sys

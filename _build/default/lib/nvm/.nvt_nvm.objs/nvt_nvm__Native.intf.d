@@ -1,0 +1,1 @@
+lib/nvm/native.mli: Memory

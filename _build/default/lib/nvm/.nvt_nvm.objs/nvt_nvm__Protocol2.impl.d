@@ -1,0 +1,1 @@
+lib/nvm/protocol2.ml: Memory Persist

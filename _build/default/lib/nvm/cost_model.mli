@@ -1,0 +1,35 @@
+(** Virtual-time cost model for the simulated NVRAM machine.
+
+    Costs are abstract time units (roughly nanoseconds). The two named
+    profiles correspond to the paper's two testbeds; see the implementation
+    for the rationale behind each constant. *)
+
+type t = {
+  name : string;
+  read_hit : int;
+  read_miss : int;
+  write : int;
+  cas : int;
+  flush : int;
+  flush_clean : int;
+  fence_base : int;
+  fence_per_pending : int;
+  alloc : int;
+  flush_invalidates : bool;
+  capacity_lines : int;
+}
+
+val nvram : t
+(** Cascade Lake + Optane DC profile: cheap asynchronous [clwb] that
+    invalidates the line, expensive [sfence]. *)
+
+val dram : t
+(** Opteron DRAM profile: synchronous [clflush] (expensive flush), cheap
+    fence. *)
+
+val uniform : int -> t
+(** Every instruction costs the same; useful in tests where only the
+    interleaving matters. *)
+
+val free : t
+(** All costs zero: pure interleaving exploration. *)

@@ -1,0 +1,44 @@
+(* The general transformation of Izraelevitz et al. (DISC 2016), as a
+   memory wrapper: a flush and fence accompany every access to shared
+   mutable memory. Running the *volatile* form of an algorithm against
+   this memory yields their durably linearizable construction — the
+   baseline the paper's evaluation compares NVTraverse against.
+
+   The transformation persists a value before any instruction that depends
+   on it can execute: loads flush-and-fence the location read, and stores
+   and CAS are flushed and fenced immediately after taking effect. *)
+
+module Make (M : Memory.S) : Memory.S with type 'a loc = 'a M.loc = struct
+  type 'a loc = 'a M.loc
+
+  type any = Any : 'a loc -> any
+
+  (* A node's initializing stores are stores like any other under the
+     transformation, so a fresh location is persisted immediately. *)
+  let alloc v =
+    let l = M.alloc v in
+    M.flush l;
+    M.fence ();
+    l
+
+  let read l =
+    let v = M.read l in
+    M.flush l;
+    M.fence ();
+    v
+
+  let write l v =
+    M.write l v;
+    M.flush l;
+    M.fence ()
+
+  let cas l ~expected ~desired =
+    let ok = M.cas l ~expected ~desired in
+    M.flush l;
+    M.fence ();
+    ok
+
+  let flush = M.flush
+  let fence = M.fence
+  let flush_any (Any l) = flush l
+end

@@ -1,0 +1,57 @@
+(* The shared-memory interface all data structures are written against.
+
+   A ['a loc] is one shared mutable word living on its own cache line: it
+   has a volatile (cached) value that [read]/[write]/[cas] act on, and —
+   in persistent backends — a separate persistent value that only [flush]
+   followed by [fence] (or an implicit eviction) updates.
+
+   [cas] compares with physical equality, like [Atomic.compare_and_set];
+   algorithms must pass the exact value previously read as [expected].
+
+   Immutable data (e.g. a node's key) is represented as plain OCaml record
+   fields, not locations, which is how the paper's "no flush after reading
+   an immutable field" rule is expressed structurally. Fields that must be
+   persisted before a node is published (key, value) are grouped in a
+   location written once at initialization. *)
+
+module type S = sig
+  type 'a loc
+
+  type any = Any : 'a loc -> any
+  (** A location with its content type erased, for heterogeneous flush
+      sets ([makePersistent] must flush locations of different types). *)
+
+  val alloc : 'a -> 'a loc
+  (** A fresh location holding the given value. The value is *not*
+      persistent until flushed: after a crash, an unflushed fresh location
+      reads back as corrupt in the simulator. *)
+
+  val read : 'a loc -> 'a
+
+  val write : 'a loc -> 'a -> unit
+
+  val cas : 'a loc -> expected:'a -> desired:'a -> bool
+  (** Atomic compare-and-swap using physical equality on [expected]. *)
+
+  val flush : 'a loc -> unit
+  (** Initiate a write-back of the location's current volatile value. The
+      write-back is only guaranteed complete after the next [fence] by the
+      same thread. *)
+
+  val fence : unit -> unit
+  (** Wait until every write-back this thread initiated has reached
+      persistent memory. *)
+
+  val flush_any : any -> unit
+end
+
+(* A second signature for backends that also expose their counters; the
+   wrappers below only need [S]. *)
+module type BACKEND = sig
+  include S
+
+  val stats : unit -> Stats.t
+  (** Aggregate counters across all threads since the last reset. *)
+
+  val reset_stats : unit -> unit
+end

@@ -1,0 +1,33 @@
+(* Persistence policies.
+
+   Every structure in [lib/structures] is written once, in traversal form,
+   against a memory [M] and a persistence policy [P]. Instantiating [P]
+   with [Volatile] erases every flush and fence and yields the original
+   lock-free algorithm; instantiating it with [Durable] yields the
+   NVTraverse data structure of Section 4. *)
+
+module Make (M : Memory.S) = struct
+  module type S = sig
+    val enabled : bool
+    (** Whether flushes are real; lets generic code skip bookkeeping that
+        only exists to feed [flush]. *)
+
+    val flush : 'a M.loc -> unit
+    val flush_any : M.any -> unit
+    val fence : unit -> unit
+  end
+
+  module Volatile : S = struct
+    let enabled = false
+    let flush _ = ()
+    let flush_any _ = ()
+    let fence () = ()
+  end
+
+  module Durable : S = struct
+    let enabled = true
+    let flush = M.flush
+    let flush_any = M.flush_any
+    let fence = M.fence
+  end
+end

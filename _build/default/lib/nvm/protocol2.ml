@@ -1,0 +1,45 @@
+(* Protocol 2 (Section 4.2): the instrumentation applied inside the
+   critical method of an NVTraverse data structure.
+
+     - Flush after every read of a shared variable.
+     - Flush after every write/CAS instruction.
+     - Fence before every write/CAS on a shared variable.
+     - (Fence before return is inserted by the engine, which owns the
+       return point of the critical method.)
+
+   The flushes and fences are routed through the persistence policy [P],
+   so the same critical-section code erases to the original algorithm
+   when [P] is [Persist.Make(M).Volatile].
+
+   Immutable fields need no flush after a read (end of Section 4.2);
+   structures express this by reading write-once locations through [M]
+   directly rather than through this wrapper. *)
+
+module Make (M : Memory.S) (P : Persist.Make(M).S) :
+  Memory.S with type 'a loc = 'a M.loc = struct
+  type 'a loc = 'a M.loc
+
+  type any = Any : 'a loc -> any
+
+  let alloc = M.alloc
+
+  let read l =
+    let v = M.read l in
+    P.flush l;
+    v
+
+  let write l v =
+    P.fence ();
+    M.write l v;
+    P.flush l
+
+  let cas l ~expected ~desired =
+    P.fence ();
+    let ok = M.cas l ~expected ~desired in
+    P.flush l;
+    ok
+
+  let flush = P.flush
+  let fence = P.fence
+  let flush_any (Any l) = flush l
+end

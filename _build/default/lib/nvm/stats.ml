@@ -1,0 +1,55 @@
+(* Operation counters for a persistent-memory backend.
+
+   The paper's cost analysis is driven by how many flushes and fences each
+   transformation executes per operation; every backend counts them so that
+   benchmarks can report instruction mixes alongside throughput. *)
+
+type t = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable cas : int;
+  mutable cas_failures : int;
+  mutable flushes : int;
+  mutable fences : int;
+  mutable allocs : int;
+}
+
+let zero () =
+  { reads = 0; writes = 0; cas = 0; cas_failures = 0; flushes = 0;
+    fences = 0; allocs = 0 }
+
+let copy t = { t with reads = t.reads }
+
+let reset t =
+  t.reads <- 0;
+  t.writes <- 0;
+  t.cas <- 0;
+  t.cas_failures <- 0;
+  t.flushes <- 0;
+  t.fences <- 0;
+  t.allocs <- 0
+
+let accumulate ~into t =
+  into.reads <- into.reads + t.reads;
+  into.writes <- into.writes + t.writes;
+  into.cas <- into.cas + t.cas;
+  into.cas_failures <- into.cas_failures + t.cas_failures;
+  into.flushes <- into.flushes + t.flushes;
+  into.fences <- into.fences + t.fences;
+  into.allocs <- into.allocs + t.allocs
+
+let diff ~after ~before =
+  { reads = after.reads - before.reads;
+    writes = after.writes - before.writes;
+    cas = after.cas - before.cas;
+    cas_failures = after.cas_failures - before.cas_failures;
+    flushes = after.flushes - before.flushes;
+    fences = after.fences - before.fences;
+    allocs = after.allocs - before.allocs }
+
+let total_shared_ops t = t.reads + t.writes + t.cas
+
+let pp ppf t =
+  Fmt.pf ppf
+    "reads=%d writes=%d cas=%d cas_fail=%d flushes=%d fences=%d allocs=%d"
+    t.reads t.writes t.cas t.cas_failures t.flushes t.fences t.allocs

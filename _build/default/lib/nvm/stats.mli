@@ -1,0 +1,33 @@
+(** Operation counters for a persistent-memory backend.
+
+    Backends count shared-memory and persistence instructions so that the
+    benchmark harness can report flush/fence mixes per operation — the
+    quantity the paper's analysis is built on. *)
+
+type t = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable cas : int;  (** CAS attempts, successful or not *)
+  mutable cas_failures : int;
+  mutable flushes : int;
+  mutable fences : int;
+  mutable allocs : int;
+}
+
+val zero : unit -> t
+(** A fresh counter record with all fields zero. *)
+
+val copy : t -> t
+
+val reset : t -> unit
+
+val accumulate : into:t -> t -> unit
+(** [accumulate ~into t] adds every field of [t] into [into]. *)
+
+val diff : after:t -> before:t -> t
+(** Field-wise subtraction, for measuring a window of execution. *)
+
+val total_shared_ops : t -> int
+(** Reads + writes + CAS attempts. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/reclaim/ebr.ml: Array List Nvt_nvm

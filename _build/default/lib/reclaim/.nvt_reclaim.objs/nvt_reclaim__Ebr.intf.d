@@ -1,0 +1,1 @@
+lib/reclaim/ebr.mli: Nvt_nvm

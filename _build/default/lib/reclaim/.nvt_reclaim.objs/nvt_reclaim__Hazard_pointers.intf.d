@@ -1,0 +1,1 @@
+lib/reclaim/hazard_pointers.mli: Nvt_nvm

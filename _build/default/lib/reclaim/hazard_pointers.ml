@@ -1,0 +1,104 @@
+(* Hazard pointers (Michael, PODC 2002 — the paper's [34]), as the
+   second reclamation scheme next to {!Ebr}.
+
+   Where epoch-based reclamation delays frees behind global grace
+   periods, hazard pointers protect individual nodes: a reader publishes
+   the node it is about to dereference in one of its hazard slots and
+   re-validates that the node is still reachable; a reclaimer may free a
+   retired node only once no slot holds it.
+
+   Like {!Ebr} this is implemented over the memory abstraction so the
+   simulator can interleave readers and reclaimers adversarially, and
+   "freeing" runs a caller-supplied thunk (tests use poisoning thunks to
+   detect use-after-free).
+
+   Protected objects are identified by an integer tag chosen by the
+   caller (typically a node id); [protect] publishes the tag and the
+   caller then re-validates its read before dereferencing, per the
+   classic protocol. *)
+
+module Make (M : Nvt_nvm.Memory.S) = struct
+  type record = { slots : int M.loc array }
+  (* -1 = empty; otherwise the protected tag *)
+
+  type retired = { tag : int; free : unit -> unit }
+
+  type t = {
+    records : record array;  (* one per thread *)
+    limbo : retired list M.loc array;  (* per-thread retired lists *)
+    scan_threshold : int;
+    retired_total : int M.loc;
+    freed_total : int M.loc;
+  }
+
+  let create ?(slots_per_thread = 2) ?(scan_threshold = 8) ~max_threads () =
+    { records =
+        Array.init max_threads (fun _ ->
+            { slots = Array.init slots_per_thread (fun _ -> M.alloc (-1)) });
+      limbo = Array.init max_threads (fun _ -> M.alloc []);
+      scan_threshold;
+      retired_total = M.alloc 0;
+      freed_total = M.alloc 0 }
+
+  let protect t ~tid ~slot tag = M.write t.records.(tid).slots.(slot) tag
+
+  let clear t ~tid ~slot = M.write t.records.(tid).slots.(slot) (-1)
+
+  let clear_all t ~tid =
+    Array.iter (fun s -> M.write s (-1)) t.records.(tid).slots
+
+  let rec bump counter n =
+    let cur = M.read counter in
+    if not (M.cas counter ~expected:cur ~desired:(cur + n)) then bump counter n
+
+  (* The scan phase: collect every published hazard, free the retired
+     nodes nobody protects, keep the rest. *)
+  let scan t ~tid =
+    let hazards = Hashtbl.create 16 in
+    Array.iter
+      (fun r ->
+        Array.iter
+          (fun s ->
+            let v = M.read s in
+            if v >= 0 then Hashtbl.replace hazards v ())
+          r.slots)
+      t.records;
+    let mine = t.limbo.(tid) in
+    let rec take () =
+      let cur = M.read mine in
+      if M.cas mine ~expected:cur ~desired:[] then cur else take ()
+    in
+    let retired = take () in
+    let keep, free =
+      List.partition (fun r -> Hashtbl.mem hazards r.tag) retired
+    in
+    List.iter (fun r -> r.free ()) free;
+    if free <> [] then bump t.freed_total (List.length free);
+    if keep <> [] then begin
+      let rec put () =
+        let cur = M.read mine in
+        if not (M.cas mine ~expected:cur ~desired:(keep @ cur)) then put ()
+      in
+      put ()
+    end;
+    List.length free
+
+  let retire t ~tid ~tag free =
+    let mine = t.limbo.(tid) in
+    let rec push () =
+      let cur = M.read mine in
+      if not (M.cas mine ~expected:cur ~desired:({ tag; free } :: cur)) then
+        push ()
+    in
+    push ();
+    bump t.retired_total 1;
+    if List.length (M.read mine) >= t.scan_threshold then ignore (scan t ~tid)
+
+  let retired_count t = M.read t.retired_total
+  let freed_count t = M.read t.freed_total
+  let pending t = retired_count t - freed_count t
+
+  (* Quiescent: drain every thread's limbo list. *)
+  let drain t =
+    Array.iteri (fun tid _ -> ignore (scan t ~tid)) t.limbo
+end

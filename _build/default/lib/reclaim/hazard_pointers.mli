@@ -1,0 +1,33 @@
+(** Hazard pointers (Michael, PODC 2002). A reader publishes the tag of
+    the node it is about to dereference in one of its slots and
+    re-validates its read; a retired node is freed only once no slot
+    holds its tag. Freeing runs a caller-supplied thunk. *)
+
+module Make (M : Nvt_nvm.Memory.S) : sig
+  type t
+
+  val create :
+    ?slots_per_thread:int -> ?scan_threshold:int -> max_threads:int -> unit -> t
+
+  val protect : t -> tid:int -> slot:int -> int -> unit
+  (** Publish a tag; the caller must re-validate its read of the
+      protected node afterwards (publish-and-revalidate). *)
+
+  val clear : t -> tid:int -> slot:int -> unit
+  val clear_all : t -> tid:int -> unit
+
+  val retire : t -> tid:int -> tag:int -> (unit -> unit) -> unit
+  (** Queue a node for freeing; triggers a scan when the thread's limbo
+      list reaches the scan threshold. *)
+
+  val scan : t -> tid:int -> int
+  (** Free this thread's retired nodes that no slot protects; returns
+      how many thunks ran. *)
+
+  val drain : t -> unit
+  (** Quiescent: scan every thread's limbo list. *)
+
+  val retired_count : t -> int
+  val freed_count : t -> int
+  val pending : t -> int
+end

@@ -1,0 +1,1 @@
+lib/sim/explore.ml: List Machine Nvt_nvm Queue

@@ -1,0 +1,1 @@
+lib/sim/history.ml: Fmt List

@@ -1,0 +1,1 @@
+lib/sim/history.mli: Format

@@ -1,0 +1,1 @@
+lib/sim/linearizability.ml: Array Fmt Hashtbl History List Option

@@ -1,0 +1,1 @@
+lib/sim/linearizability.mli: Format History

@@ -1,0 +1,1 @@
+lib/sim/machine.ml: Effect Hashtbl List Nvt_nvm Printexc Random

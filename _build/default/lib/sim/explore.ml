@@ -1,0 +1,77 @@
+(* Systematic concurrency testing: preemption-bounded exploration of
+   schedules (in the style of CHESS, Musuvathi & Qadeer).
+
+   Random seeds cover interleavings statistically; this module covers
+   them *systematically* for small scenarios. A run is re-executed from
+   scratch under a scheduling plan: by default each thread runs until it
+   finishes, and the plan injects up to [bound] preemptions, each naming
+   a step at which to switch to a specific other thread. All plans with
+   at most [bound] preemptions are enumerated breadth-first (subject to
+   [max_runs]), which is exhaustive for the bounded-preemption space —
+   and empirically most concurrency bugs need very few preemptions.
+
+   The scenario callback receives a fresh machine, spawns its threads,
+   and returns a [check] run after the schedule completes; [check]
+   raises (or returns false) to report a violation. *)
+
+type outcome = {
+  runs : int;  (* schedules executed *)
+  violations : (int * int) list list;  (* plans that failed *)
+}
+
+type trace_entry = { step : int; runnable : int list; chosen : int }
+
+let run_plan ~scenario ~plan =
+  let m = Machine.create ~seed:0 ~cost:Nvt_nvm.Cost_model.free () in
+  let trace = ref [] in
+  let last = ref (-1) in
+  Machine.set_scheduler m (fun m runnable ->
+      let step = Machine.steps m in
+      let chosen =
+        match List.assoc_opt step plan with
+        | Some t when List.mem t runnable -> t
+        | Some _ | None ->
+          if List.mem !last runnable then !last else List.hd runnable
+      in
+      last := chosen;
+      trace := { step; runnable; chosen } :: !trace;
+      chosen);
+  let check = scenario m in
+  (match Machine.run m with
+  | Machine.Completed -> ()
+  | Machine.Crashed_at _ -> failwith "Explore: unexpected crash");
+  let ok = check () in
+  (ok, List.rev !trace)
+
+(* Child plans extend [plan] with one extra preemption strictly after
+   its last one. *)
+let children plan trace =
+  let horizon =
+    match plan with [] -> -1 | _ -> List.fold_left (fun a (s, _) -> max a s) (-1) plan
+  in
+  List.concat_map
+    (fun { step; runnable; chosen } ->
+      if step <= horizon then []
+      else
+        List.filter_map
+          (fun t -> if t <> chosen then Some (plan @ [ (step, t) ]) else None)
+          runnable)
+    trace
+
+let preemption_bounded ?(bound = 2) ?(max_runs = 20_000) scenario =
+  let runs = ref 0 in
+  let violations = ref [] in
+  let queue = Queue.create () in
+  Queue.add [] queue;
+  while (not (Queue.is_empty queue)) && !runs < max_runs do
+    let plan = Queue.take queue in
+    incr runs;
+    let ok, trace =
+      try run_plan ~scenario ~plan
+      with _ -> (false, [])
+    in
+    if not ok then violations := plan :: !violations
+    else if List.length plan < bound then
+      List.iter (fun p -> Queue.add p queue) (children plan trace)
+  done;
+  { runs = !runs; violations = List.rev !violations }

@@ -1,0 +1,25 @@
+(** Systematic concurrency testing: preemption-bounded schedule
+    exploration in the style of CHESS (Musuvathi & Qadeer).
+
+    A scenario is re-executed from scratch under every scheduling plan
+    with at most [bound] preemptions (breadth-first, capped by
+    [max_runs]); most concurrency bugs need very few preemptions, so
+    this is a strong, deterministic complement to seeded random
+    schedules. *)
+
+type outcome = {
+  runs : int;  (** schedules executed *)
+  violations : (int * int) list list;
+      (** failing plans, each a list of (step, tid) preemptions — replay
+          one by passing it to the scheduler hook *)
+}
+
+val preemption_bounded :
+  ?bound:int ->
+  ?max_runs:int ->
+  (Machine.t -> unit -> bool) ->
+  outcome
+(** [preemption_bounded scenario] calls [scenario machine] once per
+    schedule; the scenario spawns its threads and returns a check to run
+    after the schedule completes ([false] or an exception = violation).
+    Default [bound] is 2, [max_runs] 20_000. *)

@@ -1,0 +1,71 @@
+(* A concurrent history of set operations, recorded across crash eras.
+
+   Threads log an invocation before calling into the data structure and a
+   response after it returns. If a crash tears a thread down mid-
+   operation, the event stays pending; [mark_crash] then closes it with
+   the crash time and flags it, so the checker can treat it as an
+   operation that either took effect before the crash or not at all —
+   exactly the atomicity durable linearizability demands. *)
+
+type op = Insert of int | Delete of int | Member of int
+
+let key_of = function Insert k | Delete k | Member k -> k
+
+let pp_op ppf = function
+  | Insert k -> Fmt.pf ppf "insert(%d)" k
+  | Delete k -> Fmt.pf ppf "delete(%d)" k
+  | Member k -> Fmt.pf ppf "member(%d)" k
+
+type event = {
+  id : int;
+  tid : int;
+  era : int;
+  op : op;
+  invoke : int;
+  mutable response : int;  (* [max_int] while in flight *)
+  mutable result : bool option;  (* [None] if lost to a crash *)
+  mutable crashed : bool;
+}
+
+type t = {
+  mutable events : event list;  (* newest first *)
+  mutable next_id : int;
+  mutable era : int;
+}
+
+let create () = { events = []; next_id = 0; era = 0 }
+
+let era t = t.era
+
+let invoke t ~tid ~time op =
+  let e =
+    { id = t.next_id; tid; era = t.era; op; invoke = time;
+      response = max_int; result = None; crashed = false }
+  in
+  t.next_id <- t.next_id + 1;
+  t.events <- e :: t.events;
+  e
+
+let respond e ~time result =
+  e.response <- time;
+  e.result <- Some result
+
+let mark_crash t ~time =
+  List.iter
+    (fun e ->
+      if e.response = max_int then begin
+        e.response <- time;
+        e.crashed <- true
+      end)
+    t.events;
+  t.era <- t.era + 1
+
+let events t = List.rev t.events
+
+let length t = List.length t.events
+
+let pp_event ppf e =
+  Fmt.pf ppf "[t%d e%d] %a -> %a @@ [%d,%d]%s" e.tid e.era pp_op e.op
+    (Fmt.option ~none:(Fmt.any "?") Fmt.bool)
+    e.result e.invoke e.response
+    (if e.crashed then " (crashed)" else "")

@@ -1,0 +1,40 @@
+(** Concurrent histories of set operations, recorded across crash eras.
+
+    Threads log an invocation before calling into the structure and a
+    response after; {!mark_crash} closes the events a crash stranded, so
+    {!Linearizability.check_set} can treat them as operations that
+    either took effect before the crash or not at all. *)
+
+type op = Insert of int | Delete of int | Member of int
+
+val key_of : op -> int
+val pp_op : Format.formatter -> op -> unit
+
+type event = {
+  id : int;
+  tid : int;
+  era : int;  (** 0 before the first crash, incremented per crash *)
+  op : op;
+  invoke : int;  (** virtual time *)
+  mutable response : int;  (** [max_int] while in flight *)
+  mutable result : bool option;  (** [None] if lost to a crash *)
+  mutable crashed : bool;
+}
+
+type t
+
+val create : unit -> t
+val era : t -> int
+
+val invoke : t -> tid:int -> time:int -> op -> event
+val respond : event -> time:int -> bool -> unit
+
+val mark_crash : t -> time:int -> unit
+(** Close every in-flight event with the crash time and flag it; bumps
+    the era. *)
+
+val events : t -> event list
+(** In invocation order. *)
+
+val length : t -> int
+val pp_event : Format.formatter -> event -> unit

@@ -1,0 +1,120 @@
+(* Durable-linearizability checker for set histories.
+
+   By the Herlihy–Wing locality theorem, a set history is linearizable
+   iff, for each key, the subhistory of operations on that key is
+   linearizable as a single boolean object (absent/present) — operations
+   on distinct keys are independent objects. We therefore check each key
+   with a DFS over linearization prefixes, memoizing on (chosen-set,
+   current state).
+
+   Durability enters through crashed operations: an operation in flight
+   at a crash may have taken effect before the crash (its effect is then
+   applied with an unconstrained result) or not at all (it is discarded).
+   Completed operations must linearize within their [invoke, response]
+   interval with exactly their observed result; this forbids both losing
+   a completed operation to the crash and resurrecting a deleted one. *)
+
+type violation = { key : int; message : string; events : History.event list }
+
+let pp_violation ppf v =
+  Fmt.pf ppf "key %d: %s@,%a" v.key v.message
+    (Fmt.list ~sep:Fmt.cut History.pp_event)
+    v.events
+
+(* Expected result and next state of applying [op] in boolean [state]. *)
+let apply op state =
+  match op with
+  | History.Insert _ -> (not state, true)
+  | History.Delete _ -> (state, false)
+  | History.Member _ -> (state, state)
+
+exception Too_many_events of int
+
+let max_events_per_key = 62
+
+let check_key ~key ~initial (evs : History.event array) =
+  let n = Array.length evs in
+  if n > max_events_per_key then raise (Too_many_events key);
+  let full = (1 lsl n) - 1 in
+  let visited = Hashtbl.create 97 in
+  (* [mask] = events already linearized or permanently discarded. *)
+  let rec dfs mask state =
+    if mask = full then true
+    else if Hashtbl.mem visited (mask, state) then false
+    else begin
+      Hashtbl.add visited (mask, state) true;
+      (* Success also if every remaining event is an optional crashed op:
+         they can all be discarded. *)
+      let remaining_all_optional = ref true in
+      for i = 0 to n - 1 do
+        if mask land (1 lsl i) = 0 && not evs.(i).crashed then
+          remaining_all_optional := false
+      done;
+      if !remaining_all_optional then true
+      else begin
+        let ok = ref false in
+        let i = ref 0 in
+        while (not !ok) && !i < n do
+          let e = evs.(!i) in
+          if mask land (1 lsl !i) = 0 then begin
+            (* Events that must precede [e] but are still unchosen: if any
+               is a completed op, [e] cannot be next; crashed ones are
+               discarded alongside choosing [e]. *)
+            let blocked = ref false in
+            let discard = ref 0 in
+            for j = 0 to n - 1 do
+              if j <> !i && mask land (1 lsl j) = 0 then begin
+                let f = evs.(j) in
+                if f.response < e.invoke then
+                  if f.crashed then discard := !discard lor (1 lsl j)
+                  else blocked := true
+              end
+            done;
+            if not !blocked then begin
+              let expected, state' = apply e.op state in
+              let result_ok =
+                match e.result with None -> true | Some r -> r = expected
+              in
+              if result_ok then begin
+                let mask' = mask lor (1 lsl !i) lor !discard in
+                if dfs mask' state' then ok := true
+              end
+            end
+          end;
+          incr i
+        done;
+        !ok
+      end
+    end
+  in
+  dfs 0 initial
+
+let check_set ?(initial_keys = []) (h : History.t) =
+  let by_key : (int, History.event list) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (e : History.event) ->
+      let k = History.key_of e.op in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt by_key k) in
+      Hashtbl.replace by_key k (e :: prev))
+    (History.events h);
+  let initial = Hashtbl.create 64 in
+  List.iter (fun k -> Hashtbl.replace initial k true) initial_keys;
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) by_key [] in
+  let check1 k =
+    let evs = Array.of_list (List.rev (Hashtbl.find by_key k)) in
+    Array.sort
+      (fun (a : History.event) b -> compare (a.invoke, a.id) (b.invoke, b.id))
+      evs;
+    let init = Hashtbl.mem initial k in
+    if check_key ~key:k ~initial:init evs then None
+    else
+      Some
+        { key = k;
+          message = "no valid linearization of this key's subhistory";
+          events = Array.to_list evs }
+  in
+  let rec go = function
+    | [] -> Ok ()
+    | k :: rest -> ( match check1 k with None -> go rest | Some v -> Error v)
+  in
+  go (List.sort compare keys)

@@ -1,0 +1,462 @@
+(* A simulated multiprocessor with non-volatile main memory.
+
+   Threads are cooperative fibers (effect handlers) preempted at every
+   shared-memory access; the scheduler always resumes the runnable thread
+   with the least accumulated virtual time, so execution is a faithful
+   discrete-event simulation of parallel threads under the cost model.
+
+   Every shared mutable word is a [cell] holding both a volatile value
+   (what reads and writes touch) and a persistent value (what survives a
+   crash). [flush] initiates a write-back of the current volatile value;
+   the write-back completes at the thread's next [fence]. Independently,
+   an eviction adversary may persist the current value of any dirty cell
+   at any scheduling step, modelling uncontrolled cache evictions.
+
+   On a crash, each pending (flushed but not yet fenced) write-back
+   completes with probability 1/2, everything else volatile is lost, and
+   a cell whose content was never persisted becomes *corrupt*: reading it
+   afterwards raises. This is the mechanism by which missing flushes in a
+   supposedly durable algorithm are detected. *)
+
+module Stats = Nvt_nvm.Stats
+module Cost_model = Nvt_nvm.Cost_model
+
+exception Corrupt_read of int
+(** Raised when reading a cell whose contents were lost in a crash. *)
+
+exception Crashed
+(* Used internally to tear down fibers at a crash. *)
+
+type eviction =
+  | No_eviction  (** only explicit flush+fence persists anything *)
+  | Random_eviction of float
+      (** at each step, with this probability, one random dirty cell is
+          persisted behind the program's back *)
+
+type 'a cell = {
+  cid : int;
+  mutable vol : 'a;
+  mutable pst : 'a option;  (* None: never persisted *)
+  mutable corrupt : bool;
+  mutable owner : int;  (* last writer's tid; -1 when shared *)
+  mutable invalid : bool;  (* flushed out of the cache; next read misses *)
+  mutable in_dirty : bool;  (* registered in the machine's dirty table *)
+}
+
+type dirty_entry = {
+  persist_now : unit -> unit;  (* persist the cell's current value *)
+  wipe : unit -> unit;  (* lose volatile contents, corrupting if needed *)
+}
+
+type thread_state =
+  | Ready of (unit -> unit)
+  | Suspended of (unit, unit) Effect.Deep.continuation
+  | Running
+  | Finished
+  | Failed of exn * Printexc.raw_backtrace
+
+type thread = {
+  tid : int;
+  mutable vtime : int;
+  mutable state : thread_state;
+  mutable pending : (unit -> unit) list;  (* write-backs awaiting fence *)
+  mutable pending_count : int;
+}
+
+type outcome = Completed | Crashed_at of int
+
+type stall = {
+  probability : float;  (* per scheduling step *)
+  max_units : int;  (* stall duration drawn uniformly from [1, max] *)
+}
+(* Models OS preemption / SMT interference: a thread can lose the CPU
+   for a long stretch at any instruction boundary. Lock-free algorithms
+   must tolerate this, and several durability windows (e.g. building on
+   a not-yet-fenced link) only open when one thread stalls between its
+   CAS and its fence. *)
+
+type t = {
+  rng : Random.State.t;
+  cost : Cost_model.t;
+  eviction : eviction;
+  stall : stall option;
+  jitter : int;  (* 0..jitter extra units per op, to break lockstep ties *)
+  mutable threads : thread list;
+  dirty : (int, dirty_entry) Hashtbl.t;
+  mutable next_tid : int;
+  mutable next_cid : int;
+  mutable steps : int;
+  mutable clock : int;  (* virtual time of the last scheduled action *)
+  mutable running : thread option;
+  mutable crash_at_time : int option;
+  mutable crash_at_step : int option;
+  mutable scheduler : (t -> int list -> int) option;
+      (* override: given the runnable tids (ascending), choose the next
+         thread; used by the systematic explorer. Default: least virtual
+         time. *)
+  stats : Stats.t;
+}
+
+type _ Effect.t += Yield : unit Effect.t
+
+(* The simulator runs on a single domain, so a plain ref suffices. *)
+let current_machine : t option ref = ref None
+
+let create ?(seed = 0) ?(cost = Cost_model.nvram) ?(eviction = No_eviction)
+    ?stall ?(jitter = 0) () =
+  let m =
+    { rng = Random.State.make [| seed; 0x5eed |];
+      cost;
+      eviction;
+      stall;
+      jitter;
+      threads = [];
+      dirty = Hashtbl.create 4096;
+      next_tid = 0;
+      next_cid = 0;
+      steps = 0;
+      clock = 0;
+      running = None;
+      crash_at_time = None;
+      crash_at_step = None;
+      scheduler = None;
+      stats = Stats.zero () }
+  in
+  current_machine := Some m;
+  m
+
+let set_current m = current_machine := Some m
+
+let get () =
+  match !current_machine with
+  | Some m -> m
+  | None -> failwith "Sim: no current machine"
+
+let clock m = m.clock
+let steps m = m.steps
+let stats m = m.stats
+let makespan m = m.clock
+
+let current_tid m = match m.running with Some th -> th.tid | None -> -1
+
+let now m = match m.running with Some th -> th.vtime | None -> m.clock
+
+let set_crash_at_time m t = m.crash_at_time <- Some t
+let set_crash_at_step m n = m.crash_at_step <- Some n
+
+let clear_crash m =
+  m.crash_at_time <- None;
+  m.crash_at_step <- None
+
+(* ------------------------------------------------------------------ *)
+(* Memory primitives                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let charge m c =
+  match m.running with
+  | Some th ->
+    let j = if m.jitter > 0 then Random.State.int m.rng (m.jitter + 1) else 0 in
+    th.vtime <- th.vtime + c + j
+  | None -> ()
+
+let yield m = if m.running <> None then Effect.perform Yield
+
+let cell_is_clean c = match c.pst with Some p -> p == c.vol | None -> false
+
+let persist_value m c v =
+  c.pst <- Some v;
+  if c.in_dirty && cell_is_clean c then begin
+    Hashtbl.remove m.dirty c.cid;
+    c.in_dirty <- false
+  end
+
+let wipe_cell c =
+  (match c.pst with
+  | Some v -> c.vol <- v
+  | None -> c.corrupt <- true);
+  c.owner <- -1;
+  c.invalid <- false
+
+let mark_dirty m c =
+  if (not c.in_dirty) && not (cell_is_clean c) then begin
+    Hashtbl.replace m.dirty c.cid
+      { persist_now = (fun () -> persist_value m c c.vol);
+        wipe = (fun () -> wipe_cell c) };
+    c.in_dirty <- true
+  end
+
+let alloc v =
+  let m = get () in
+  let cid = m.next_cid in
+  m.next_cid <- cid + 1;
+  let c =
+    { cid; vol = v; pst = None; corrupt = false; owner = current_tid m;
+      invalid = false; in_dirty = false }
+  in
+  mark_dirty m c;
+  m.stats.allocs <- m.stats.allocs + 1;
+  charge m m.cost.alloc;
+  yield m;
+  c
+
+let check_corrupt c = if c.corrupt then raise (Corrupt_read c.cid)
+
+(* Working-set model: with more live lines than cache capacity, a read
+   hits with probability capacity/live (uniform-access approximation). *)
+let capacity_miss m =
+  m.running <> None
+  && m.next_cid > m.cost.capacity_lines
+  && Random.State.int m.rng m.next_cid >= m.cost.capacity_lines
+
+let read c =
+  let m = get () in
+  check_corrupt c;
+  m.stats.reads <- m.stats.reads + 1;
+  let me = current_tid m in
+  let miss =
+    c.invalid || (c.owner <> -1 && c.owner <> me) || capacity_miss m
+  in
+  if miss then begin
+    c.invalid <- false;
+    c.owner <- -1;
+    charge m m.cost.read_miss
+  end
+  else charge m m.cost.read_hit;
+  let v = c.vol in
+  yield m;
+  v
+
+let write c v =
+  let m = get () in
+  (* overwriting a corrupted cell redefines its contents *)
+  c.corrupt <- false;
+  m.stats.writes <- m.stats.writes + 1;
+  let me = current_tid m in
+  if c.owner <> me then charge m m.cost.read_miss;
+  c.owner <- me;
+  c.invalid <- false;
+  c.vol <- v;
+  mark_dirty m c;
+  charge m m.cost.write;
+  yield m
+
+let cas c ~expected ~desired =
+  let m = get () in
+  check_corrupt c;
+  m.stats.cas <- m.stats.cas + 1;
+  let me = current_tid m in
+  if c.owner <> me then charge m m.cost.read_miss;
+  c.owner <- me;
+  c.invalid <- false;
+  charge m m.cost.cas;
+  let ok = c.vol == expected in
+  if ok then begin
+    c.vol <- desired;
+    mark_dirty m c
+  end
+  else m.stats.cas_failures <- m.stats.cas_failures + 1;
+  yield m;
+  ok
+
+let flush c =
+  let m = get () in
+  check_corrupt c;
+  m.stats.flushes <- m.stats.flushes + 1;
+  let v = c.vol in
+  if m.cost.flush_invalidates then c.invalid <- true;
+  if cell_is_clean c then
+    (* no write-back occurs for a clean line; only the instruction (and
+       the invalidation above) is paid *)
+    charge m m.cost.flush_clean
+  else begin
+    (match m.running with
+    | Some th ->
+      th.pending <- (fun () -> persist_value m c v) :: th.pending;
+      th.pending_count <- th.pending_count + 1
+    | None ->
+      (* setup mode: flushes take effect immediately *)
+      persist_value m c v);
+    charge m m.cost.flush
+  end;
+  yield m
+
+let fence () =
+  let m = get () in
+  m.stats.fences <- m.stats.fences + 1;
+  (match m.running with
+  | Some th ->
+    charge m
+      (m.cost.fence_base + (m.cost.fence_per_pending * th.pending_count));
+    List.iter (fun k -> k ()) (List.rev th.pending);
+    th.pending <- [];
+    th.pending_count <- 0
+  | None -> ());
+  yield m
+
+(* Persist every dirty cell immediately; used after pre-filling a
+   structure so that runs start from a fully persistent state. *)
+let persist_all m =
+  let entries = Hashtbl.fold (fun _ e acc -> e :: acc) m.dirty [] in
+  List.iter (fun e -> e.persist_now ()) entries
+
+let dirty_count m = Hashtbl.length m.dirty
+
+(* ------------------------------------------------------------------ *)
+(* Scheduling                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let spawn m f =
+  let tid = m.next_tid in
+  m.next_tid <- tid + 1;
+  let th =
+    { tid; vtime = m.clock; state = Ready f; pending = []; pending_count = 0 }
+  in
+  m.threads <- th :: m.threads;
+  tid
+
+let runnable th =
+  match th.state with Ready _ | Suspended _ -> true | _ -> false
+
+let set_scheduler m f = m.scheduler <- Some f
+let clear_scheduler m = m.scheduler <- None
+
+let pick_runnable m =
+  match m.scheduler with
+  | Some choose ->
+    let tids =
+      List.filter_map (fun th -> if runnable th then Some th.tid else None)
+        m.threads
+      |> List.sort compare
+    in
+    if tids = [] then None
+    else
+      let tid = choose m tids in
+      List.find_opt (fun th -> th.tid = tid && runnable th) m.threads
+  | None ->
+    List.fold_left
+      (fun best th ->
+        if not (runnable th) then best
+        else
+          match best with
+          | Some b when b.vtime < th.vtime -> best
+          | Some b when b.vtime = th.vtime && b.tid < th.tid -> best
+          | Some _ | None -> Some th)
+      None m.threads
+
+let maybe_evict m =
+  match m.eviction with
+  | No_eviction -> ()
+  | Random_eviction p ->
+    if Random.State.float m.rng 1.0 < p then begin
+      let n = Hashtbl.length m.dirty in
+      if n > 0 then begin
+        let i = Random.State.int m.rng n in
+        let picked = ref None in
+        let j = ref 0 in
+        (try
+           Hashtbl.iter
+             (fun _ e ->
+               if !j = i then begin
+                 picked := Some e;
+                 raise Exit
+               end;
+               incr j)
+             m.dirty
+         with Exit -> ());
+        match !picked with Some e -> e.persist_now () | None -> ()
+      end
+    end
+
+let handler th =
+  { Effect.Deep.retc = (fun () -> th.state <- Finished);
+    exnc =
+      (fun e ->
+        match e with
+        | Crashed -> th.state <- Finished
+        | _ -> th.state <- Failed (e, Printexc.get_raw_backtrace ()));
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Yield ->
+          Some
+            (fun (k : (a, unit) Effect.Deep.continuation) ->
+              th.state <- Suspended k)
+        | _ -> None) }
+
+let crash m =
+  (* Tear down every live fiber, then resolve the fate of flushed-but-
+     unfenced write-backs by coin flip, then lose all volatile state. *)
+  List.iter
+    (fun th ->
+      (match th.state with
+      | Suspended k ->
+        m.running <- Some th;
+        (try Effect.Deep.discontinue k Crashed with Crashed -> ());
+        th.state <- Finished;
+        m.running <- None
+      | Ready _ -> th.state <- Finished
+      | Running | Finished | Failed _ -> ());
+      List.iter
+        (fun k -> if Random.State.bool m.rng then k ())
+        (List.rev th.pending);
+      th.pending <- [];
+      th.pending_count <- 0)
+    m.threads;
+  m.threads <- [];
+  let entries = Hashtbl.fold (fun _ e acc -> e :: acc) m.dirty [] in
+  Hashtbl.reset m.dirty;
+  List.iter (fun e -> e.wipe ()) entries
+
+let crash_due m th =
+  (match m.crash_at_step with Some n -> m.steps >= n | None -> false)
+  || match m.crash_at_time with Some t -> th.vtime >= t | None -> false
+
+let run m =
+  set_current m;
+  let rec loop () =
+    match pick_runnable m with
+    | None ->
+      (* Fail loudly if a fiber died on an unexpected exception. *)
+      List.iter
+        (fun th ->
+          match th.state with
+          | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+          | _ -> ())
+        m.threads;
+      m.threads <- [];
+      Completed
+    | Some th ->
+      if crash_due m th then begin
+        let t = th.vtime in
+        m.clock <- max m.clock t;
+        crash m;
+        m.crash_at_time <- None;
+        m.crash_at_step <- None;
+        Crashed_at t
+      end
+      else begin
+        match m.stall with
+        | Some { probability; max_units }
+          when Random.State.float m.rng 1.0 < probability ->
+          (* the thread loses the CPU instead of acting; someone else
+             may now be scheduled first *)
+          th.vtime <- th.vtime + 1 + Random.State.int m.rng max_units;
+          loop ()
+        | Some _ | None ->
+        m.steps <- m.steps + 1;
+        m.clock <- max m.clock th.vtime;
+        maybe_evict m;
+        m.running <- Some th;
+        (match th.state with
+        | Ready f ->
+          th.state <- Running;
+          Effect.Deep.match_with f () (handler th)
+        | Suspended k ->
+          th.state <- Running;
+          Effect.Deep.continue k ()
+        | Running | Finished | Failed _ -> assert false);
+        m.running <- None;
+        loop ()
+      end
+  in
+  loop ()

@@ -1,0 +1,115 @@
+(** A simulated multiprocessor with non-volatile main memory.
+
+    Threads are cooperative fibers (effect handlers) preempted at every
+    shared-memory access; the scheduler resumes the runnable thread with
+    the least accumulated virtual time, making execution a
+    discrete-event simulation of parallel threads under a
+    {!Nvt_nvm.Cost_model}. Every shared mutable word ({!type:cell}) has
+    both a volatile and a persistent value; [flush]/[fence] and an
+    eviction adversary move values between them, and a crash wipes
+    volatile state — corrupting cells that were never persisted.
+
+    The memory operations below are normally reached through
+    {!module:Memory}, the backend with the same interface as
+    {!Nvt_nvm.Native}. *)
+
+exception Corrupt_read of int
+(** Reading a cell whose contents were lost in a crash. The payload is
+    the cell id. *)
+
+type eviction =
+  | No_eviction  (** only explicit flush+fence persists anything *)
+  | Random_eviction of float
+      (** at each step, with this probability, one random dirty cell is
+          persisted behind the program's back *)
+
+type stall = {
+  probability : float;  (** per scheduling step *)
+  max_units : int;  (** stall duration drawn uniformly from [1, max] *)
+}
+(** Models OS preemption: a thread can lose the CPU for a long stretch
+    at any instruction boundary. Several durability windows (building on
+    a not-yet-fenced link) only open under stalls. *)
+
+type 'a cell
+(** One shared mutable word with volatile and persistent state. *)
+
+type outcome = Completed | Crashed_at of int
+
+type t
+
+val create :
+  ?seed:int ->
+  ?cost:Nvt_nvm.Cost_model.t ->
+  ?eviction:eviction ->
+  ?stall:stall ->
+  ?jitter:int ->
+  unit ->
+  t
+(** A fresh machine, installed as the current one. [jitter] adds 0..n
+    random extra cost units per operation to break scheduling ties. *)
+
+val set_current : t -> unit
+(** Route subsequent {!module:Memory} operations to this machine. *)
+
+val get : unit -> t
+(** The current machine; raises if none was created. *)
+
+(** {1 Threads and execution} *)
+
+val spawn : t -> (unit -> unit) -> int
+(** Register a simulated thread; returns its tid. Threads only run
+    inside {!run}. *)
+
+val run : t -> outcome
+(** Schedule until every thread finished or a crash fired. A thread that
+    died on an unexpected exception re-raises it here. *)
+
+val set_crash_at_time : t -> int -> unit
+(** Crash when the next scheduled thread's virtual time reaches this. *)
+
+val set_crash_at_step : t -> int -> unit
+(** Crash at the given global scheduling step. *)
+
+val clear_crash : t -> unit
+(** Cancel a pending crash trigger (fired triggers clear themselves). *)
+
+val set_scheduler : t -> (t -> int list -> int) -> unit
+(** Override scheduling: given the runnable tids (ascending), return the
+    tid to run next. Used by {!Explore}. *)
+
+val clear_scheduler : t -> unit
+
+(** {1 Introspection} *)
+
+val now : t -> int
+(** The running thread's virtual time (or the global clock outside a
+    thread) — the timestamp to record in histories. *)
+
+val current_tid : t -> int
+(** The running thread's tid, or [-1] in setup mode. *)
+
+val clock : t -> int
+val steps : t -> int
+val makespan : t -> int
+(** Virtual time of the latest scheduled action: the parallel makespan. *)
+
+val stats : t -> Nvt_nvm.Stats.t
+val dirty_count : t -> int
+
+val persist_all : t -> unit
+(** Persist every dirty cell immediately; call after pre-filling so runs
+    start from a fully persistent state. *)
+
+(** {1 Memory operations}
+
+    These implement the {!Nvt_nvm.Memory.S} semantics on the current
+    machine; inside [run] they are charged to and interleaved with the
+    running thread, outside they execute immediately (setup mode). *)
+
+val alloc : 'a -> 'a cell
+val read : 'a cell -> 'a
+val write : 'a cell -> 'a -> unit
+val cas : 'a cell -> expected:'a -> desired:'a -> bool
+val flush : 'a cell -> unit
+val fence : unit -> unit

@@ -1,0 +1,4 @@
+(** The simulator's persistent-memory backend. Same interface as the
+    native backend; operations act on the current {!Machine}. *)
+
+include Nvt_nvm.Memory.BACKEND with type 'a loc = 'a Machine.cell

@@ -1,0 +1,1 @@
+lib/structures/ellen_bst.ml: List Nvt_core Nvt_nvm Option Printf

@@ -1,0 +1,1 @@
+lib/structures/harris_list.ml: List Nvt_core Nvt_nvm Option Printf

@@ -1,0 +1,1 @@
+lib/structures/harris_list.mli: Nvt_core Nvt_nvm

@@ -1,0 +1,1 @@
+lib/structures/hash_table.ml: Array Harris_list List Nvt_core Nvt_nvm Printf

@@ -1,0 +1,1 @@
+lib/structures/hash_table.mli: Nvt_core Nvt_nvm

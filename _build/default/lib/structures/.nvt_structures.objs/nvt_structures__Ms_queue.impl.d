@@ -1,0 +1,1 @@
+lib/structures/ms_queue.ml: List Nvt_core Nvt_nvm

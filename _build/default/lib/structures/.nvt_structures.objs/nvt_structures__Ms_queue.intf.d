@@ -1,0 +1,1 @@
+lib/structures/ms_queue.mli: Nvt_nvm

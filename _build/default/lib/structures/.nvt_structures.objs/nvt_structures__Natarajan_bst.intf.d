@@ -1,0 +1,1 @@
+lib/structures/natarajan_bst.mli: Nvt_core Nvt_nvm

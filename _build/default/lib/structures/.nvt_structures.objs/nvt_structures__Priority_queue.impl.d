@@ -1,0 +1,1 @@
+lib/structures/priority_queue.ml: Nvt_nvm Skiplist

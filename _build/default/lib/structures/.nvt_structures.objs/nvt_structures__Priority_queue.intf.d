@@ -1,0 +1,1 @@
+lib/structures/priority_queue.mli: Nvt_nvm

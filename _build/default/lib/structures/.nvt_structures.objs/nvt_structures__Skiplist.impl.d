@@ -1,0 +1,1 @@
+lib/structures/skiplist.ml: Array List Nvt_core Nvt_nvm Option Printf

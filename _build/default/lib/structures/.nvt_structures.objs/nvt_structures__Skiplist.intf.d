@@ -1,0 +1,1 @@
+lib/structures/skiplist.mli: Nvt_core Nvt_nvm

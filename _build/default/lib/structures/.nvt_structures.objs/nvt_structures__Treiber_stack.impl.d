@@ -1,0 +1,1 @@
+lib/structures/treiber_stack.ml: List Nvt_nvm

@@ -1,0 +1,1 @@
+lib/structures/treiber_stack.mli: Nvt_nvm

@@ -1,0 +1,8 @@
+(** The non-blocking external BST of Ellen, Fatourou, Ruppert and van
+    Breugel (PODC 2010) in traversal form: keys at the leaves, helping
+    through per-node update descriptors (IFlag/DFlag/Mark). Recovery
+    helps every pending descriptor to completion. Real keys must be
+    smaller than [max_int - 1]. *)
+
+module Make (M : Nvt_nvm.Memory.S) (P : Nvt_nvm.Persist.Make(M).S) :
+  Nvt_core.Set_intf.SET

@@ -1,0 +1,267 @@
+(* Harris's lock-free sorted linked list (DISC 2001), in traversal form —
+   the paper's running example (Sections 2.1, 3, 4.4).
+
+   Discharge of the traversal-data-structure properties (Section 3):
+   - Core Tree: a singly-linked list rooted at the head sentinel.
+   - Operation Data: operations receive (root, key[, value]) only.
+   - Traversal Behavior: the search loop reads only the current node's
+     [next] field and immutable key; it returns the suffix
+     left..marked*..right of its path; a node marked between two
+     same-input traversals forces the later one to return an unmarked
+     left above it (Traversal Stability).
+   - Disconnection: the mark bit on [next] is set before any unlink; the
+     unique disconnection of a marked run below unmarked [left] is the
+     CAS swinging [left.next] past the run; disjoint runs commute.
+   - Supplement 1: [recover] walks the list and trims every marked node.
+   - Supplement 2 is replaced by the Lemma 4.1 optimization (k = 1): the
+     traversal returns the current parent of [left] and ensureReachable
+     flushes that parent's [next] field.
+
+   The node's key and value live in a single location written once before
+   the node is published ([kv]); reading it models fetching the node's
+   constant cache line, and the paper's "no flush after reading an
+   immutable field" rule corresponds to reading it through [M] rather
+   than the Protocol 2 wrapper. *)
+
+module Make (M : Nvt_nvm.Memory.S) (P : Nvt_nvm.Persist.Make(M).S) = struct
+  module E = Nvt_core.Engine.Make (M) (P)
+  module C = E.Critical
+
+  type node = Tail | Node of inner
+  and inner = { kv : (int * int) M.loc; next : succ M.loc }
+  and succ = { marked : bool; nx : node }
+
+  type t = { head : inner; mutable reclaim : reclaim option }
+
+  and reclaim = {
+    enter : unit -> unit;  (* begin a reclamation critical section *)
+    exit_cs : unit -> unit;
+    retire : (unit -> unit) -> unit;  (* node unlinked; free after grace *)
+  }
+  (* Optional epoch-based reclamation (the paper reclaims with ssmem):
+     operations run inside a critical section, and the thread that
+     physically unlinks a node retires it. The hooks are injected by the
+     caller (see Nvt_reclaim.Ebr) so that the structure stays agnostic
+     of the reclamation scheme. *)
+
+  let key_of n = fst (M.read n.kv)
+
+  let set_reclaim t r = t.reclaim <- Some r
+
+  (* "Freeing" poisons the node's payload; under correct grace periods
+     no traversal can observe it, and the invariant checker would fail
+     loudly if one did. *)
+  let retire_node t (n : inner) =
+    match t.reclaim with
+    | Some r -> r.retire (fun () -> M.write n.kv (min_int, min_int))
+    | None -> ()
+
+  let with_cs t f =
+    match t.reclaim with
+    | None -> f ()
+    | Some r ->
+      r.enter ();
+      let result = f () in
+      r.exit_cs ();
+      result
+
+  let create () =
+    let kv = M.alloc (min_int, 0) in
+    let next = M.alloc { marked = false; nx = Tail } in
+    P.flush kv;
+    P.flush next;
+    P.fence ();
+    { head = { kv; next }; reclaim = None }
+
+  (* ---------------- traverse ---------------- *)
+
+  type tr = {
+    parent : inner;  (* current parent of [left] (Lemma 4.1, k = 1) *)
+    left : inner;  (* last unmarked node with key < k *)
+    left_succ : succ;  (* contents of left.next as read *)
+    mids : inner list;  (* marked nodes strictly between left and right *)
+    right : node;  (* first unmarked node with key >= k, or Tail *)
+  }
+
+  let rec traverse_from (head : inner) k =
+    let rec walk pred parent left left_succ mids curr =
+      match curr with
+      | Tail ->
+        { parent; left; left_succ; mids = List.rev mids; right = Tail }
+      | Node n ->
+        let succ = M.read n.next in
+        if succ.marked then
+          walk n parent left left_succ (n :: mids) succ.nx
+        else if key_of n < k then walk n pred n succ [] succ.nx
+        else begin
+          (* right found; restart if it has been marked since (the
+             traversal's own restart in Algorithm 4, lines 31-32) *)
+          let succ2 = M.read n.next in
+          if succ2.marked then traverse_from head k
+          else
+            { parent; left; left_succ; mids = List.rev mids; right = Node n }
+        end
+    in
+    let s0 = M.read head.next in
+    walk head head head s0 [] s0.nx
+
+  let persist_set tr =
+    let base = M.Any tr.left.next :: List.map (fun n -> M.Any n.next) tr.mids in
+    match tr.right with
+    | Tail -> base
+    | Node rn -> base @ [ M.Any rn.next ]
+
+  let traversal entry k =
+    let tr = traverse_from entry k in
+    { E.nodes = tr;
+      reach = E.Parents [ M.Any tr.parent.next ];
+      persist_set = persist_set tr }
+
+  (* ---------------- critical ---------------- *)
+
+  (* Physically remove the marked nodes between left and right
+     (deleteMarkedNodes, Algorithm 4). Returns the contents of
+     [left.next] known to point at [right], or [`Retry]. *)
+  let delete_marked t tr =
+    match tr.mids with
+    | [] -> `Ok tr.left_succ
+    | _ :: _ ->
+      let desired = { marked = false; nx = tr.right } in
+      if C.cas tr.left.next ~expected:tr.left_succ ~desired then begin
+        List.iter (retire_node t) tr.mids;
+        match tr.right with
+        | Tail -> `Ok desired
+        | Node rn ->
+          let s = C.read rn.next in
+          if s.marked then `Retry else `Ok desired
+      end
+      else `Retry
+
+  let insert_critical t tr (k, v) =
+    match delete_marked t tr with
+    | `Retry -> E.Restart
+    | `Ok cur -> (
+      match tr.right with
+      | Node rn when key_of rn = k -> E.Finish false (* key exists *)
+      | Tail | Node _ ->
+        let kv = M.alloc (k, v) in
+        let next = M.alloc { marked = false; nx = tr.right } in
+        let newnode = { kv; next } in
+        (* flush the new node's fields; the fence is issued by [C.cas]
+           just before publishing (Section 4.2) *)
+        P.flush kv;
+        P.flush next;
+        if
+          C.cas tr.left.next ~expected:cur
+            ~desired:{ marked = false; nx = Node newnode }
+        then E.Finish true
+        else E.Restart)
+
+  let delete_critical t tr k =
+    match delete_marked t tr with
+    | `Retry -> E.Restart
+    | `Ok cur -> (
+      match tr.right with
+      | Tail -> E.Finish false
+      | Node rn ->
+        if key_of rn <> k then E.Finish false
+        else
+          let rnext = C.read rn.next in
+          if rnext.marked then E.Restart
+          else if
+            C.cas rn.next ~expected:rnext
+              ~desired:{ rnext with marked = true }
+          then begin
+            (* physical delete; a failure here is benign — a later
+               traversal or the recovery will trim the node *)
+            if
+              C.cas tr.left.next ~expected:cur
+                ~desired:{ marked = false; nx = rnext.nx }
+            then retire_node t rn;
+            E.Finish true
+          end
+          else E.Restart)
+
+  let find_critical tr k =
+    match tr.right with
+    | Node rn ->
+      let k', v = M.read rn.kv in
+      E.Finish (if k' = k then Some v else None)
+    | Tail -> E.Finish None
+
+  (* ---------------- operations ---------------- *)
+
+  let insert t ~key ~value =
+    with_cs t (fun () ->
+        E.operation
+          ~find_entry:(fun _ -> t.head)
+          ~traverse:(fun entry (k, _) -> traversal entry k)
+          ~critical:(insert_critical t) (key, value))
+
+  let delete t k =
+    with_cs t (fun () ->
+        E.operation
+          ~find_entry:(fun _ -> t.head)
+          ~traverse:traversal ~critical:(delete_critical t) k)
+
+  let find t k =
+    with_cs t (fun () ->
+        E.operation
+          ~find_entry:(fun _ -> t.head)
+          ~traverse:traversal ~critical:find_critical k)
+
+  let member t k = Option.is_some (find t k)
+
+  (* ---------------- recovery (Supplement 1) ---------------- *)
+
+  let recover t =
+    let rec first_unmarked n =
+      match n with
+      | Tail -> Tail
+      | Node m ->
+        let sm = M.read m.next in
+        if sm.marked then first_unmarked sm.nx else n
+    in
+    let rec go u =
+      let s = M.read u.next in
+      let w = first_unmarked s.nx in
+      if w != s.nx then begin
+        M.write u.next { marked = false; nx = w };
+        P.flush u.next;
+        P.fence ()
+      end;
+      match w with Tail -> () | Node m -> go m
+    in
+    go t.head
+
+  (* ---------------- quiescent helpers ---------------- *)
+
+  let fold f acc t =
+    let rec go acc n =
+      match n with
+      | Tail -> acc
+      | Node m ->
+        let s = M.read m.next in
+        let acc = if s.marked then acc else f acc (M.read m.kv) in
+        go acc s.nx
+    in
+    go acc (M.read t.head.next).nx
+
+  let to_list t = List.rev (fold (fun acc kv -> kv :: acc) [] t)
+
+  let size t = fold (fun n _ -> n + 1) 0 t
+
+  let check_invariants t =
+    let rec go prev n =
+      match n with
+      | Tail -> ()
+      | Node m ->
+        let k = key_of m in
+        if k <= prev then
+          failwith
+            (Printf.sprintf "harris_list: keys out of order (%d after %d)" k
+               prev);
+        go k (M.read m.next).nx
+    in
+    go min_int (M.read t.head.next).nx
+end

@@ -1,0 +1,19 @@
+(** A lock-free hash table: a fixed directory of buckets. The directory
+    is an auxiliary entry point (Property 2); each bucket is the root of
+    its own core tree, so the NVTraverse transformation applies
+    bucket-wise. No resizing, as in the paper's evaluation. *)
+
+(** Buckets can be any set implementation. *)
+module Make_generic (S : Nvt_core.Set_intf.SET) : sig
+  include Nvt_core.Set_intf.SET
+
+  val create_sized : int -> t
+  (** A table with the given number of buckets ([create] uses 1024). *)
+end
+
+(** The paper's hash table: a Harris list per bucket. *)
+module Make (M : Nvt_nvm.Memory.S) (P : Nvt_nvm.Persist.Make(M).S) : sig
+  include Nvt_core.Set_intf.SET
+
+  val create_sized : int -> t
+end

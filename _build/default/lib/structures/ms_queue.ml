@@ -1,0 +1,214 @@
+(* A lock-free FIFO queue in traversal form, in the style of Michael &
+   Scott (PODC 1996) restructured like the DurableQueue of Friedman et
+   al. (PPoPP 2018) — the one durable structure with a prior correctness
+   proof, which the paper cites as the model for queues-as-traversal-
+   data-structures.
+
+   The core tree is the chain of nodes hanging off a fixed anchor
+   sentinel. The MS-queue head and tail pointers are *auxiliary* entry
+   points (Property 2): they are plain shared words, never flushed, and
+   rebuilt by [recover].
+
+   Dequeue marks: instead of swinging a head pointer, a dequeue claims
+   the first live node by CASing its [deq] flag — that flag is the mark
+   (Definition 1); the marked prefix is disconnected by the unique CAS
+   that swings [anchor.next] past it (Property 5), performed lazily and
+   by [recover]. One queue-specific nuance, shared with the original
+   DurableQueue: the chain's last node keeps a mutable [next] even after
+   it is marked, because enqueues append behind it; this is sound here
+   because a marked node's [next] is never used to decide a dequeue's
+   return value.
+
+   Enqueues traverse from the tail hint to the end and link a new node;
+   each node stores its original parent (Supplement 2) for
+   ensureReachable. *)
+
+module Make (M : Nvt_nvm.Memory.S) (P : Nvt_nvm.Persist.Make(M).S) = struct
+  module E = Nvt_core.Engine.Make (M) (P)
+  module C = E.Critical
+
+  type node = Nil | Node of inner
+
+  and inner = {
+    value : int M.loc;  (* write-once, flushed before publication *)
+    deq : bool M.loc;  (* the mark: false = live, true = dequeued *)
+    next : node M.loc;
+    origin : node M.loc;  (* original parent (Supplement 2) *)
+  }
+
+  type t = {
+    anchor : inner;  (* fixed sentinel; root of the core tree *)
+    head_hint : node M.loc;  (* auxiliary; never flushed *)
+    tail_hint : node M.loc;  (* auxiliary; never flushed *)
+  }
+
+  let create () =
+    let value = M.alloc 0 in
+    let deq = M.alloc true in
+    let next = M.alloc Nil in
+    let anchor = { value; deq; next; origin = next } in
+    P.flush value;
+    P.flush deq;
+    P.flush next;
+    P.fence ();
+    { anchor; head_hint = M.alloc (Node anchor); tail_hint = M.alloc (Node anchor) }
+
+  (* ---------------- enqueue ---------------- *)
+
+  type enq_tr = { last : inner; last_next : node }
+
+  let rec walk_to_end (n : inner) =
+    match M.read n.next with Nil -> n | Node m -> walk_to_end m
+
+  let enq_traversal entry _input =
+    let start = match entry with Node n -> n | Nil -> assert false in
+    let last = walk_to_end start in
+    { E.nodes = { last; last_next = Nil };
+      reach = E.Original_parent (M.Any last.origin);
+      persist_set = [ M.Any last.next ] }
+
+  let enqueue t v =
+    E.operation
+      ~find_entry:(fun _ ->
+        match M.read t.tail_hint with Nil -> Node t.anchor | n -> n)
+      ~traverse:enq_traversal
+      ~critical:(fun tr v ->
+        let value = M.alloc v in
+        let deq = M.alloc false in
+        let next = M.alloc Nil in
+        let n = { value; deq; next; origin = tr.last.next } in
+        P.flush value;
+        P.flush deq;
+        P.flush next;
+        if C.cas tr.last.next ~expected:tr.last_next ~desired:(Node n) then begin
+          (* advance the auxiliary tail hint; raw write, no flush *)
+          M.write t.tail_hint (Node n);
+          E.Finish ()
+        end
+        else E.Restart)
+      v
+
+  (* ---------------- dequeue ---------------- *)
+
+  type deq_tr = { cand : inner option }
+
+  (* First node whose [deq] flag is unset; traversing from the head hint
+     is safe because disconnected nodes keep their forward chain. *)
+  let rec first_live (n : node) =
+    match n with
+    | Nil -> None
+    | Node m -> if M.read m.deq then first_live (M.read m.next) else Some m
+
+  let deq_traversal t entry _input =
+    let start = match entry with Nil -> Node t.anchor | n -> n in
+    let cand = first_live start in
+    match cand with
+    | None ->
+      (* must re-examine from the anchor: the hint may be stale *)
+      let cand = first_live (Node t.anchor) in
+      let ps =
+        match cand with Some c -> [ M.Any c.deq ] | None -> []
+      in
+      let reach =
+        match cand with
+        | Some c -> E.Original_parent (M.Any c.origin)
+        | None -> E.Parents []
+      in
+      { E.nodes = { cand }; reach; persist_set = ps }
+    | Some c ->
+      { E.nodes = { cand = Some c };
+        reach = E.Original_parent (M.Any c.origin);
+        persist_set = [ M.Any c.deq ] }
+
+  (* Lazily disconnect the marked prefix: the unique legal disconnection
+     is the anchor.next swing to the first live node (or Nil chain end
+     stays in place — we always keep at least the chain linked from the
+     anchor, so an empty queue keeps its marked nodes until the next
+     disconnect). *)
+  let trim t =
+    let old = C.read t.anchor.next in
+    match first_live old with
+    | Some c ->
+      if Node c != old then
+        ignore (C.cas t.anchor.next ~expected:old ~desired:(Node c));
+      M.write t.head_hint (Node c)
+    | None -> ()
+
+  let dequeue t =
+    E.operation
+      ~find_entry:(fun _ ->
+        match M.read t.head_hint with Nil -> Node t.anchor | n -> n)
+      ~traverse:(deq_traversal t)
+      ~critical:(fun tr () ->
+        match tr.cand with
+        | None -> E.Finish None
+        | Some c ->
+          if C.cas c.deq ~expected:false ~desired:true then begin
+            let v = M.read c.value in
+            trim t;
+            E.Finish (Some v)
+          end
+          else E.Restart)
+      ()
+
+  let peek t =
+    E.operation
+      ~find_entry:(fun _ ->
+        match M.read t.head_hint with Nil -> Node t.anchor | n -> n)
+      ~traverse:(deq_traversal t)
+      ~critical:(fun tr () ->
+        match tr.cand with
+        | None -> E.Finish None
+        | Some c -> E.Finish (Some (M.read c.value)))
+      ()
+
+  (* ---------------- recovery ---------------- *)
+
+  let recover t =
+    (* disconnect the dequeued prefix and persist the swing *)
+    let old = M.read t.anchor.next in
+    (match first_live old with
+    | Some c when Node c != old ->
+      M.write t.anchor.next (Node c);
+      P.flush t.anchor.next;
+      P.fence ()
+    | Some _ | None -> ());
+    (* rebuild the auxiliary hints *)
+    let rec last n prev =
+      match n with Nil -> prev | Node m -> last (M.read m.next) (Node m)
+    in
+    let head =
+      match first_live (M.read t.anchor.next) with
+      | Some c -> Node c
+      | None -> Node t.anchor
+    in
+    M.write t.head_hint head;
+    M.write t.tail_hint (last (M.read t.anchor.next) (Node t.anchor))
+
+  (* ---------------- quiescent helpers ---------------- *)
+
+  let to_list t =
+    let rec go acc n =
+      match n with
+      | Nil -> List.rev acc
+      | Node m ->
+        let acc = if M.read m.deq then acc else M.read m.value :: acc in
+        go acc (M.read m.next)
+    in
+    go [] (M.read t.anchor.next)
+
+  let length t = List.length (to_list t)
+
+  let check_invariants t =
+    (* the dequeued nodes reachable from the anchor form a prefix *)
+    let rec go seen_live n =
+      match n with
+      | Nil -> ()
+      | Node m ->
+        let d = M.read m.deq in
+        if d && seen_live then
+          failwith "ms_queue: dequeued node after a live one";
+        go (seen_live || not d) (M.read m.next)
+    in
+    go false (M.read t.anchor.next)
+end

@@ -1,0 +1,31 @@
+(** A lock-free FIFO queue in traversal form, after Michael & Scott
+    (PODC 1996) restructured like Friedman et al.'s DurableQueue: a
+    dequeue claims the first live node by CASing its mark, and the
+    marked prefix is disconnected lazily at the anchor. The MS head and
+    tail pointers are auxiliary hints rebuilt by [recover]. *)
+
+module Make (M : Nvt_nvm.Memory.S) (P : Nvt_nvm.Persist.Make(M).S) : sig
+  type t
+
+  val create : unit -> t
+
+  val enqueue : t -> int -> unit
+
+  val dequeue : t -> int option
+  (** [None] iff the queue was empty at the linearization point. *)
+
+  val peek : t -> int option
+
+  val recover : t -> unit
+  (** Disconnect the dequeued prefix, persist the swing, and rebuild the
+      head/tail hints. Run after a crash, before other operations. *)
+
+  val to_list : t -> int list
+  (** Live values front-to-back. Quiescent use only. *)
+
+  val length : t -> int
+
+  val check_invariants : t -> unit
+  (** The dequeued nodes reachable from the anchor form a prefix.
+      Quiescent use only. *)
+end

@@ -1,0 +1,9 @@
+(** The lock-free external BST of Natarajan and Mittal (PPoPP 2014) in
+    traversal form: deletion state lives on edges as flag (leaf under
+    deletion) and tag (edge frozen) bits; a delete injects at the
+    parent's edge and cleans up by swinging the ancestor's edge.
+    Recovery completes every injected delete. Real keys must be smaller
+    than [max_int - 1]. *)
+
+module Make (M : Nvt_nvm.Memory.S) (P : Nvt_nvm.Persist.Make(M).S) :
+  Nvt_core.Set_intf.SET

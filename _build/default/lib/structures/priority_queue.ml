@@ -1,0 +1,36 @@
+(* A durable priority queue, as the paper suggests: traversal data
+   structures "capture not just set data structures, but also queues,
+   stacks, priority queues, skiplists" — here, the skiplist's bottom
+   list ordered by priority, with extract-min as a delete of the first
+   live node.
+
+   Priorities are the skiplist keys; a priority can hold one element at
+   a time (a counted multiset could be layered on the value word). *)
+
+module Make (M : Nvt_nvm.Memory.S) (P : Nvt_nvm.Persist.Make(M).S) = struct
+  module Sl = Skiplist.Make (M) (P)
+
+  type t = Sl.t
+
+  let create () = Sl.create ()
+
+  let insert t ~priority ~value = Sl.insert t ~key:priority ~value
+
+  let extract_min t = Sl.delete_min t
+
+  let peek_min t = Sl.peek_min t
+
+  let remove t ~priority = Sl.delete t priority
+
+  let mem t ~priority = Sl.member t priority
+
+  let recover t = Sl.recover t
+
+  let to_list t = Sl.to_list t
+
+  let size t = Sl.size t
+
+  let is_empty t = size t = 0
+
+  let check_invariants t = Sl.check_invariants t
+end

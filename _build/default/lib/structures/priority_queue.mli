@@ -1,0 +1,26 @@
+(** A durable priority queue: the skiplist ordered by priority with
+    extract-min as a delete of the first live bottom-level node. One
+    element per priority. *)
+
+module Make (M : Nvt_nvm.Memory.S) (P : Nvt_nvm.Persist.Make(M).S) : sig
+  type t
+
+  val create : unit -> t
+
+  val insert : t -> priority:int -> value:int -> bool
+  (** [false] if the priority is already present. *)
+
+  val extract_min : t -> (int * int) option
+  (** Remove and return the smallest priority and its value. *)
+
+  val peek_min : t -> (int * int) option
+  val remove : t -> priority:int -> bool
+  val mem : t -> priority:int -> bool
+
+  val recover : t -> unit
+
+  val to_list : t -> (int * int) list
+  val size : t -> int
+  val is_empty : t -> bool
+  val check_invariants : t -> unit
+end

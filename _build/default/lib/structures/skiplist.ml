@@ -1,0 +1,496 @@
+(* A lock-free skiplist with a Harris-style bottom list, in traversal
+   form (the paper evaluates a skiplist in the style of Michael /
+   Herlihy–Shavit).
+
+   Only the bottom level is the core tree (Property 2): the index towers
+   are auxiliary entry points, never flushed, and rebuilt wholesale by
+   [recover]. This is the structure where the NVTraverse insight pays
+   the most: an operation's long descent through the towers and walk
+   along the bottom level persist nothing, and only the O(1) returned
+   bottom-level words are flushed.
+
+   Deletion marks a node's bottom [next] word (Harris-style) after
+   freezing its tower links top-down; disconnection at the bottom level
+   is exactly the list's, so Property 5 carries over.
+
+   ensureReachable uses Supplement 2: each node stores its original
+   parent — the bottom-level [next] word of its predecessor at insertion
+   time — and the engine flushes that location.
+
+   A node's height is derived deterministically from its key (a mixed
+   hash's trailing zeros), which keeps simulated runs reproducible
+   without sharing a PRNG between threads. *)
+
+module Make (M : Nvt_nvm.Memory.S) (P : Nvt_nvm.Persist.Make(M).S) = struct
+  module E = Nvt_core.Engine.Make (M) (P)
+  module C = E.Critical
+
+  let max_level = 16
+
+  type node = Tail | Node of inner
+
+  and inner = {
+    meta : (int * int * int) M.loc;  (* key, value, height; write-once *)
+    origin : succ M.loc;  (* original parent (Supplement 2) *)
+    next : succ M.loc;  (* bottom level: the core *)
+    tower : succ M.loc array;  (* levels 1..height-1: auxiliary *)
+  }
+
+  and succ = { marked : bool; nx : node }
+
+  type t = { head : inner }
+
+  let key_of n =
+    let k, _, _ = M.read n.meta in
+    k
+
+  (* splitmix-style finalizer: low bits of the hash must be unbiased,
+     since the geometric height is read off its trailing bits *)
+  let mix k =
+    let x = k * 0x1E3779B97F4A7C15 in
+    let x = x lxor (x lsr 30) in
+    let x = x * 0x3F58476D1CE4E5B9 in
+    x lxor (x lsr 27)
+
+  let height_for_key k =
+    let h = ref 1 in
+    let x = ref (mix k) in
+    while !x land 1 = 1 && !h < max_level do
+      incr h;
+      x := !x asr 1
+    done;
+    !h
+
+  let create () =
+    let meta = M.alloc (min_int, 0, max_level) in
+    let next = M.alloc { marked = false; nx = Tail } in
+    let tower =
+      Array.init (max_level - 1) (fun _ -> M.alloc { marked = false; nx = Tail })
+    in
+    P.flush meta;
+    P.flush next;
+    P.fence ();
+    { head = { meta; origin = next; next; tower } }
+
+  (* ---------------- findEntry: descend the towers ---------------- *)
+
+  (* Walk level [i] (>= 1) from [from], returning the last node whose key
+     is < k. Read-only: marked nodes still route correctly by key. *)
+  let walk_level i from k =
+    let rec go curr =
+      match (M.read curr.tower.(i - 1)).nx with
+      | Tail -> curr
+      | Node n -> if key_of n < k then go n else curr
+    in
+    go from
+
+  let find_entry head k =
+    let rec down i curr =
+      if i = 0 then curr else down (i - 1) (walk_level i curr k)
+    in
+    down (max_level - 1) head
+
+  (* ---------------- traverse: bottom-level Harris walk ------------- *)
+
+  type tr = {
+    left : inner;
+    left_succ : succ;
+    mids : inner list;
+    right : node;
+  }
+
+  let rec traverse_from (head : inner) (entry : inner) k =
+    let rec walk left left_succ mids curr =
+      match curr with
+      | Tail -> { left; left_succ; mids = List.rev mids; right = Tail }
+      | Node n ->
+        let succ = M.read n.next in
+        if succ.marked then walk left left_succ (n :: mids) succ.nx
+        else if key_of n < k then walk n succ [] succ.nx
+        else
+          let succ2 = M.read n.next in
+          if succ2.marked then traverse_from head head k
+          else { left; left_succ; mids = List.rev mids; right = Node n }
+    in
+    let s0 = M.read entry.next in
+    if s0.marked then
+      (* the entry point was deleted under us; the head sentinel is
+         always a valid unmarked starting left *)
+      traverse_from head head k
+    else walk entry s0 [] s0.nx
+
+  let persist_set tr =
+    let base = M.Any tr.left.next :: List.map (fun n -> M.Any n.next) tr.mids in
+    match tr.right with
+    | Tail -> base
+    | Node rn -> base @ [ M.Any rn.next ]
+
+  let traversal head entry k =
+    let tr = traverse_from head entry k in
+    { E.nodes = tr;
+      reach = E.Original_parent (M.Any tr.left.origin);
+      persist_set = persist_set tr }
+
+  (* ---------------- tower maintenance (auxiliary, unflushed) ------- *)
+
+  (* Find an unmarked (pred, pred_word) pair at level [i] with
+     pred.key < k <= succ key, physically unlinking marked nodes on the
+     way. Tower words are auxiliary, so raw [M] accesses suffice. *)
+  let rec level_search head i k =
+    let rec go pred =
+      let pw = M.read pred.tower.(i - 1) in
+      if pw.marked then level_search head i k (* pred deleted; restart *)
+      else begin
+        match pw.nx with
+        | Tail -> (pred, pw)
+        | Node n ->
+          let nw = M.read n.tower.(i - 1) in
+          if nw.marked then begin
+            (* unlink n at this level *)
+            ignore
+              (M.cas pred.tower.(i - 1) ~expected:pw
+                 ~desired:{ marked = false; nx = nw.nx });
+            go pred
+          end
+          else if key_of n < k then go n
+          else (pred, pw)
+      end
+    in
+    go head
+
+  (* One top-down descent recording an unmarked (pred, word) pair per
+     index level, unlinking marked nodes along the way — the standard
+     Fraser-style search, so tower maintenance costs O(log n) rather
+     than a per-level scan from the head. *)
+  let search_levels head k =
+    let dummy = (head, { marked = false; nx = Tail }) in
+    let preds = Array.make (max_level - 1) dummy in
+    let rec level i pred =
+      if i >= 1 then begin
+        let rec go pred =
+          let pw = M.read pred.tower.(i - 1) in
+          if pw.marked then
+            (* our predecessor got deleted at this level; fall back to a
+               head-based search for the level *)
+            level_search head i k
+          else begin
+            match pw.nx with
+            | Tail -> (pred, pw)
+            | Node n ->
+              let nw = M.read n.tower.(i - 1) in
+              if nw.marked then begin
+                ignore
+                  (M.cas pred.tower.(i - 1) ~expected:pw
+                     ~desired:{ marked = false; nx = nw.nx });
+                go pred
+              end
+              else if key_of n < k then go n
+              else (pred, pw)
+          end
+        in
+        let p, w = go pred in
+        preds.(i - 1) <- (p, w);
+        level (i - 1) p
+      end
+    in
+    level (max_level - 1) head;
+    preds
+
+  let rec mark_tower_level (n : inner) i =
+    let w = M.read n.tower.(i - 1) in
+    if not w.marked then
+      if not (M.cas n.tower.(i - 1) ~expected:w ~desired:{ w with marked = true })
+      then mark_tower_level n i
+
+  let mark_towers (n : inner) h =
+    for i = h - 1 downto 1 do
+      mark_tower_level n i
+    done
+
+  let link_towers head (n : inner) k h =
+    let preds = search_levels head k in
+    let continue = ref true in
+    for i = 1 to h - 1 do
+      if !continue then begin
+        let first = ref true in
+        let rec attempt () =
+          if (M.read n.next).marked then continue := false
+          else begin
+            let pred, pw =
+              if !first then preds.(i - 1) else level_search head i k
+            in
+            first := false;
+            (* CAS — not write — our own tower word: a concurrent delete
+               may have marked it, and the mark must win *)
+            let cur = M.read n.tower.(i - 1) in
+            if cur.marked then continue := false
+            else if
+              not
+                (M.cas n.tower.(i - 1) ~expected:cur
+                   ~desired:{ marked = false; nx = pw.nx })
+            then attempt ()
+            else if
+              not
+                (M.cas pred.tower.(i - 1) ~expected:pw
+                   ~desired:{ marked = false; nx = Node n })
+            then attempt ()
+          end
+        in
+        attempt ()
+      end
+    done;
+    (* a delete may have marked the bottom while we were linking; make
+       sure the entries we just published get frozen and unlinked *)
+    if (M.read n.next).marked then begin
+      mark_towers n h;
+      ignore (search_levels head k)
+    end
+
+  let unlink_towers head k _h = ignore (search_levels head k)
+
+  (* ---------------- critical ---------------- *)
+
+  let delete_marked tr =
+    match tr.mids with
+    | [] -> `Ok tr.left_succ
+    | _ :: _ ->
+      let desired = { marked = false; nx = tr.right } in
+      if C.cas tr.left.next ~expected:tr.left_succ ~desired then begin
+        match tr.right with
+        | Tail -> `Ok desired
+        | Node rn ->
+          let s = C.read rn.next in
+          if s.marked then `Retry else `Ok desired
+      end
+      else `Retry
+
+  let insert_critical head tr (k, v) =
+    match delete_marked tr with
+    | `Retry -> E.Restart
+    | `Ok cur -> (
+      match tr.right with
+      | Node rn when key_of rn = k -> E.Finish false
+      | Tail | Node _ ->
+        let h = height_for_key k in
+        let meta = M.alloc (k, v, h) in
+        let next = M.alloc { marked = false; nx = tr.right } in
+        let tower =
+          Array.init (h - 1) (fun _ -> M.alloc { marked = false; nx = Tail })
+        in
+        let n = { meta; origin = tr.left.next; next; tower } in
+        P.flush meta;
+        P.flush next;
+        if
+          C.cas tr.left.next ~expected:cur
+            ~desired:{ marked = false; nx = Node n }
+        then begin
+          link_towers head n k h;
+          E.Finish true
+        end
+        else E.Restart)
+
+  let delete_critical head tr k =
+    match delete_marked tr with
+    | `Retry -> E.Restart
+    | `Ok cur -> (
+      match tr.right with
+      | Tail -> E.Finish false
+      | Node rn ->
+        if key_of rn <> k then E.Finish false
+        else begin
+          let _, _, h = M.read rn.meta in
+          mark_towers rn h;
+          let rnext = C.read rn.next in
+          if rnext.marked then E.Restart
+          else if
+            C.cas rn.next ~expected:rnext ~desired:{ rnext with marked = true }
+          then begin
+            ignore
+              (C.cas tr.left.next ~expected:cur
+                 ~desired:{ marked = false; nx = rnext.nx });
+            unlink_towers head k h;
+            E.Finish true
+          end
+          else E.Restart
+        end)
+
+  let find_critical tr k =
+    match tr.right with
+    | Node rn ->
+      let k', v, _ = M.read rn.meta in
+      E.Finish (if k' = k then Some v else None)
+    | Tail -> E.Finish None
+
+  (* ---------------- operations ---------------- *)
+
+  let insert t ~key ~value =
+    E.operation
+      ~find_entry:(fun (k, _) -> find_entry t.head k)
+      ~traverse:(fun entry (k, _) -> traversal t.head entry k)
+      ~critical:(insert_critical t.head)
+      (key, value)
+
+  let delete t k =
+    E.operation
+      ~find_entry:(find_entry t.head)
+      ~traverse:(traversal t.head)
+      ~critical:(delete_critical t.head)
+      k
+
+  let find t k =
+    E.operation
+      ~find_entry:(find_entry t.head)
+      ~traverse:(traversal t.head)
+      ~critical:find_critical k
+
+  let member t k = Option.is_some (find t k)
+
+  (* Remove and return the minimum key — the skiplist-as-priority-queue
+     operation the paper counts among traversal data structures. The
+     traversal is the bottom-level walk with a key below every real key,
+     so [right] is the first live node, i.e. the minimum. *)
+  let smallest_key = min_int + 1
+
+  let delete_min_critical head tr () =
+    match delete_marked tr with
+    | `Retry -> E.Restart
+    | `Ok cur -> (
+      match tr.right with
+      | Tail -> E.Finish None
+      | Node rn ->
+        let k, v, h = M.read rn.meta in
+        mark_towers rn h;
+        let rnext = C.read rn.next in
+        if rnext.marked then E.Restart
+        else if
+          C.cas rn.next ~expected:rnext ~desired:{ rnext with marked = true }
+        then begin
+          ignore
+            (C.cas tr.left.next ~expected:cur
+               ~desired:{ marked = false; nx = rnext.nx });
+          unlink_towers head k h;
+          E.Finish (Some (k, v))
+        end
+        else E.Restart)
+
+  let delete_min t =
+    E.operation
+      ~find_entry:(fun () -> t.head)
+      ~traverse:(fun entry () -> traversal t.head entry smallest_key)
+      ~critical:(delete_min_critical t.head)
+      ()
+
+  let peek_min t =
+    E.operation
+      ~find_entry:(fun () -> t.head)
+      ~traverse:(fun entry () -> traversal t.head entry smallest_key)
+      ~critical:(fun tr () ->
+        match tr.right with
+        | Tail -> E.Finish None
+        | Node rn ->
+          let k, v, _ = M.read rn.meta in
+          E.Finish (Some (k, v)))
+      ()
+
+  (* ---------------- recovery ---------------- *)
+
+  (* Trim marked bottom-level nodes (the disconnect supplement), then
+     rebuild every tower from the surviving bottom list. Tower words may
+     be corrupt after a crash — they were never flushed — and are
+     redefined by plain writes. *)
+  let recover t =
+    let rec first_unmarked n =
+      match n with
+      | Tail -> Tail
+      | Node m ->
+        let sm = M.read m.next in
+        if sm.marked then first_unmarked sm.nx else n
+    in
+    let rec trim u =
+      let s = M.read u.next in
+      let w = first_unmarked s.nx in
+      if w != s.nx then begin
+        M.write u.next { marked = false; nx = w };
+        P.flush u.next;
+        P.fence ()
+      end;
+      match w with Tail -> () | Node m -> trim m
+    in
+    trim t.head;
+    (* rebuild towers: predecessor-per-level sweep over the bottom list *)
+    let preds = Array.make (max_level - 1) t.head in
+    let rec sweep n =
+      match n with
+      | Tail ->
+        Array.iteri
+          (fun i p -> M.write p.tower.(i) { marked = false; nx = Tail })
+          preds
+      | Node m ->
+        let _, _, h = M.read m.meta in
+        for i = 0 to h - 2 do
+          M.write preds.(i).tower.(i) { marked = false; nx = Node m };
+          preds.(i) <- m
+        done;
+        sweep (M.read m.next).nx
+    in
+    sweep (M.read t.head.next).nx
+
+  (* ---------------- quiescent helpers ---------------- *)
+
+  let fold f acc t =
+    let rec go acc n =
+      match n with
+      | Tail -> acc
+      | Node m ->
+        let s = M.read m.next in
+        let acc =
+          if s.marked then acc
+          else
+            let k, v, _ = M.read m.meta in
+            f acc (k, v)
+        in
+        go acc s.nx
+    in
+    go acc (M.read t.head.next).nx
+
+  let to_list t = List.rev (fold (fun acc kv -> kv :: acc) [] t)
+
+  let size t = fold (fun n _ -> n + 1) 0 t
+
+  let check_invariants t =
+    (* bottom level strictly sorted *)
+    let rec go prev n =
+      match n with
+      | Tail -> ()
+      | Node m ->
+        let k = key_of m in
+        if k <= prev then
+          failwith
+            (Printf.sprintf "skiplist: keys out of order (%d after %d)" k prev);
+        go k (M.read m.next).nx
+    in
+    go min_int (M.read t.head.next).nx;
+    (* every unmarked node reachable at level i+1 is reachable at level i *)
+    let bottom = ref [] in
+    let rec collect n =
+      match n with
+      | Tail -> ()
+      | Node m ->
+        bottom := m :: !bottom;
+        collect (M.read m.next).nx
+    in
+    collect (M.read t.head.next).nx;
+    let on_bottom = !bottom in
+    for i = 1 to max_level - 1 do
+      let rec level n =
+        match n with
+        | Tail -> ()
+        | Node m ->
+          let w = M.read m.tower.(i - 1) in
+          if (not w.marked) && not (List.memq m on_bottom) then
+            failwith "skiplist: tower node not on bottom level";
+          level w.nx
+      in
+      level (M.read t.head.tower.(i - 1)).nx
+    done
+end

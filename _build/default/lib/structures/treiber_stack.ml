@@ -1,0 +1,79 @@
+(* Treiber's lock-free stack, made durable.
+
+   The paper notes that stacks are traversal data structures with an
+   empty traversal: the entry point (the top-of-stack word) is itself
+   the node the critical method operates on, so the transformation
+   degenerates to Protocol 2 around the single CAS — which is what this
+   module implements directly. The top word is the root of the core
+   tree and is persistent; node payloads are flushed before publication.
+
+   Pop disconnects the top node without a separate mark: the top word is
+   the unique disconnection point and the popped node is immutable, so
+   Definition 1's intent (no post-removal mutation) holds trivially. *)
+
+module Make (M : Nvt_nvm.Memory.S) (P : Nvt_nvm.Persist.Make(M).S) = struct
+  type node = Nil | Node of inner
+
+  and inner = { value : int M.loc; next : node }
+  (* [next] is immutable: a node's successor is fixed at push time. *)
+
+  type t = { top : node M.loc }
+
+  let create () =
+    let top = M.alloc Nil in
+    P.flush top;
+    P.fence ();
+    { top }
+
+  let rec push t v =
+    let cur = M.read t.top in
+    let value = M.alloc v in
+    P.flush value;
+    let n = Node { value; next = cur } in
+    P.fence ();
+    (* fence before CAS: the node contents are persistent before the
+       node can be observed *)
+    if M.cas t.top ~expected:cur ~desired:n then begin
+      P.flush t.top;
+      P.fence ()
+    end
+    else push t v
+
+  let rec pop t =
+    let cur = M.read t.top in
+    (* flush-after-read: the value of top this pop depends on must be
+       persistent before the pop's effect can be *)
+    P.flush t.top;
+    match cur with
+    | Nil ->
+      P.fence ();
+      None
+    | Node n ->
+      P.fence ();
+      if M.cas t.top ~expected:cur ~desired:n.next then begin
+        P.flush t.top;
+        P.fence ();
+        Some (M.read n.value)
+      end
+      else pop t
+
+  let peek t =
+    match M.read t.top with
+    | Nil -> None
+    | Node n -> Some (M.read n.value)
+
+  (* The top word is persistent at every linearization point, so
+     recovery has nothing to reconstruct. *)
+  let recover _t = ()
+
+  let to_list t =
+    let rec go acc = function
+      | Nil -> List.rev acc
+      | Node n -> go (M.read n.value :: acc) n.next
+    in
+    go [] (M.read t.top)
+
+  let length t = List.length (to_list t)
+
+  let check_invariants _t = ()
+end

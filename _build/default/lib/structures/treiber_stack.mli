@@ -1,0 +1,23 @@
+(** Treiber's lock-free stack, made durable. The traversal is empty —
+    the top-of-stack word is the root and the node the critical method
+    operates on — so the transformation degenerates to Protocol 2 around
+    one CAS, applied directly. *)
+
+module Make (M : Nvt_nvm.Memory.S) (P : Nvt_nvm.Persist.Make(M).S) : sig
+  type t
+
+  val create : unit -> t
+  val push : t -> int -> unit
+  val pop : t -> int option
+  val peek : t -> int option
+
+  val recover : t -> unit
+  (** A no-op: the top word is persistent at every linearization
+      point. *)
+
+  val to_list : t -> int list
+  (** Top-first. Quiescent use only. *)
+
+  val length : t -> int
+  val check_invariants : t -> unit
+end

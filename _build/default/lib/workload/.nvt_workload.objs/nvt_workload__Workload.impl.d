@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Array Printf Random

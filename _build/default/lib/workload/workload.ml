@@ -1,0 +1,55 @@
+(* Workload generation for the benchmark harness: the paper's
+   insert/delete/lookup mixes (Section 5.1) and YCSB-like read
+   distributions (workloads A, B, C of Cooper et al.).
+
+   Keys are drawn uniformly from [0, range); structures are prefilled
+   with range/2 keys before measurement, as in the paper. *)
+
+type op = Insert of int | Delete of int | Lookup of int
+
+type mix = {
+  name : string;
+  insert_pct : int;
+  delete_pct : int;  (* remainder are lookups *)
+}
+
+let updates ~pct =
+  { name = Printf.sprintf "%d%% updates" pct;
+    insert_pct = pct / 2;
+    delete_pct = pct - (pct / 2) }
+
+(* The paper's default: 10-10-80. *)
+let default = { name = "10-10-80"; insert_pct = 10; delete_pct = 10 }
+
+(* YCSB-style: A = 50% updates, B = 5% updates, C = read-only. *)
+let ycsb_a = updates ~pct:50
+let ycsb_b = updates ~pct:5
+let ycsb_c = updates ~pct:0
+
+let update_pct mix = mix.insert_pct + mix.delete_pct
+
+type gen = { rng : Random.State.t; mix : mix; range : int }
+
+let gen ~seed ~mix ~range = { rng = Random.State.make [| seed; 0xf00d |]; mix; range }
+
+let next g =
+  let k = Random.State.int g.rng g.range in
+  let p = Random.State.int g.rng 100 in
+  if p < g.mix.insert_pct then Insert k
+  else if p < g.mix.insert_pct + g.mix.delete_pct then Delete k
+  else Lookup k
+
+(* Deterministic prefill keys: every other key in the range — the
+   paper's range/2 initial size without rejection sampling — in a
+   seeded shuffle, so external BSTs prefill to their expected
+   logarithmic depth rather than a spine. *)
+let prefill_keys ~range =
+  let a = Array.init (range / 2) (fun i -> i * 2) in
+  let rng = Random.State.make [| range; 0xbeef |] in
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  Array.to_list a

@@ -1,0 +1,30 @@
+(** Workload generation: the paper's insert/delete/lookup mixes and
+    YCSB-like read distributions, with uniform keys and a deterministic
+    shuffled prefill of half the key range. *)
+
+type op = Insert of int | Delete of int | Lookup of int
+
+type mix = { name : string; insert_pct : int; delete_pct : int }
+
+val updates : pct:int -> mix
+(** [pct]% updates, split evenly between inserts and deletes. *)
+
+val default : mix
+(** The paper's default 10-10-80 insert/delete/lookup mix. *)
+
+val ycsb_a : mix  (** 50% updates *)
+
+val ycsb_b : mix  (** 5% updates *)
+
+val ycsb_c : mix  (** read-only *)
+
+val update_pct : mix -> int
+
+type gen
+
+val gen : seed:int -> mix:mix -> range:int -> gen
+val next : gen -> op
+
+val prefill_keys : range:int -> int list
+(** [range/2] distinct keys in [0, range), deterministically shuffled so
+    external BSTs prefill to logarithmic depth. *)

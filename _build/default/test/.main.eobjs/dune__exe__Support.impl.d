@@ -1,0 +1,1 @@
+test/support.ml: Alcotest Fmt Hashtbl List Nvt_core Nvt_nvm Nvt_sim Nvt_structures Printf Random

@@ -1,0 +1,1 @@
+test/test_ablation.ml: Alcotest Fun History Lin List Machine Nvt_structures P Random Sim_mem Support

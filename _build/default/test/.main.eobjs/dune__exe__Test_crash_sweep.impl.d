@@ -1,0 +1,1 @@
+test/test_crash_sweep.ml: Alcotest Eb History Hl Lin List Machine Nm Nvt_baselines Random Sim_mem Sl Support

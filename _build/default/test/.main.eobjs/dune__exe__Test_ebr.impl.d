@@ -1,0 +1,1 @@
+test/test_ebr.ml: Alcotest History Hl Lin Machine Nvt_reclaim Printf Random Sim_mem Support

@@ -1,0 +1,1 @@
+test/test_ellen.ml: Alcotest Eb Fun List Machine Printf Support

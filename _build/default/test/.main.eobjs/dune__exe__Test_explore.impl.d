@@ -1,0 +1,1 @@
+test/test_explore.ml: Alcotest Eb History Hl Ht Lin List Machine Nm Nvt_sim Printf Sim_mem Sl String Support

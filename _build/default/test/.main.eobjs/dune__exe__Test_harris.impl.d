@@ -1,0 +1,1 @@
+test/test_harris.ml: Alcotest Hl List Machine Printf Support

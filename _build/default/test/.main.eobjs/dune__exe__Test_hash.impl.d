@@ -1,0 +1,1 @@
+test/test_hash.ml: Alcotest Eb Ht List Machine Nvt_structures Sl Support

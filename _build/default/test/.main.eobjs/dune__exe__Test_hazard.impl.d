@@ -1,0 +1,1 @@
+test/test_hazard.ml: Alcotest Machine Nvt_reclaim Printf Sim_mem Support

@@ -1,0 +1,1 @@
+test/test_lin.ml: Alcotest History Lin List Support

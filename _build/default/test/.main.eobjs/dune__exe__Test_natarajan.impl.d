@@ -1,0 +1,1 @@
+test/test_natarajan.ml: Alcotest Fun List Machine Nm Printf Support

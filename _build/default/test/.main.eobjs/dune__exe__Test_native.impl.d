@@ -1,0 +1,1 @@
+test/test_native.ml: Alcotest Array Domain List Nvt_nvm Nvt_structures Random

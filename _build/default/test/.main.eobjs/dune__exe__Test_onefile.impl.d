@@ -1,0 +1,1 @@
+test/test_onefile.ml: Alcotest List Machine Nvt_baselines Printf Sim_mem Support

@@ -1,0 +1,1 @@
+test/test_pqueue.ml: Alcotest Array Hashtbl Int List Machine Map Nvt_structures P Printf Random Sim_mem Support

@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Eb Hashtbl History Hl Ht Int Lin List Machine Map Nm Nvt_baselines Nvt_structures Nvt_workload Option P Printf QCheck QCheck_alcotest Queue Sim_mem Sl String Support

@@ -1,0 +1,1 @@
+test/test_queue.ml: Alcotest Hashtbl List Machine Nvt_structures P Printf Queue Random Sim_mem Support

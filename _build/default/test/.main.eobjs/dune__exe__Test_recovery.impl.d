@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest Eb History Hl Ht Lin List Machine Nm Random Sl Support

@@ -1,0 +1,1 @@
+test/test_skiplist.ml: Alcotest List Machine Printf Sl Support

@@ -1,0 +1,1 @@
+test/test_stack.ml: Alcotest Hashtbl List Machine Nvt_structures P Printf Random Sim_mem Support

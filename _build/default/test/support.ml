@@ -1,0 +1,358 @@
+(* Shared harness for tests: instantiations of every structure over the
+   simulator backend in each persistence flavour, plus a workload runner
+   that records histories, injects crashes, recovers, and checks durable
+   linearizability. *)
+
+module Nvm = Nvt_nvm
+module Machine = Nvt_sim.Machine
+module History = Nvt_sim.History
+module Lin = Nvt_sim.Linearizability
+
+module Sim_mem = Nvt_sim.Memory
+module P = Nvm.Persist.Make (Sim_mem)
+module Izr = Nvm.Izraelevitz.Make (Sim_mem)
+module P_izr = Nvm.Persist.Make (Izr)
+module Lp = Nvm.Link_and_persist.Make (Sim_mem)
+module P_lp = Nvm.Persist.Make (Lp)
+
+module type SET = Nvt_core.Set_intf.SET
+
+(* Harris list in all four flavours over the simulator. *)
+module Hl = struct
+  module Volatile = Nvt_structures.Harris_list.Make (Sim_mem) (P.Volatile)
+  module Durable = Nvt_structures.Harris_list.Make (Sim_mem) (P.Durable)
+  module Izraelevitz = Nvt_structures.Harris_list.Make (Izr) (P_izr.Volatile)
+  module Link_persist = Nvt_structures.Harris_list.Make (Lp) (P_lp.Durable)
+end
+
+module Ht = struct
+  module Volatile = Nvt_structures.Hash_table.Make (Sim_mem) (P.Volatile)
+  module Durable = Nvt_structures.Hash_table.Make (Sim_mem) (P.Durable)
+  module Izraelevitz = Nvt_structures.Hash_table.Make (Izr) (P_izr.Volatile)
+  module Link_persist = Nvt_structures.Hash_table.Make (Lp) (P_lp.Durable)
+end
+
+module Eb = struct
+  module Volatile = Nvt_structures.Ellen_bst.Make (Sim_mem) (P.Volatile)
+  module Durable = Nvt_structures.Ellen_bst.Make (Sim_mem) (P.Durable)
+  module Izraelevitz = Nvt_structures.Ellen_bst.Make (Izr) (P_izr.Volatile)
+  module Link_persist = Nvt_structures.Ellen_bst.Make (Lp) (P_lp.Durable)
+end
+
+module Nm = struct
+  module Volatile = Nvt_structures.Natarajan_bst.Make (Sim_mem) (P.Volatile)
+  module Durable = Nvt_structures.Natarajan_bst.Make (Sim_mem) (P.Durable)
+  module Izraelevitz = Nvt_structures.Natarajan_bst.Make (Izr) (P_izr.Volatile)
+  module Link_persist = Nvt_structures.Natarajan_bst.Make (Lp) (P_lp.Durable)
+end
+
+module Sl = struct
+  module Volatile = Nvt_structures.Skiplist.Make (Sim_mem) (P.Volatile)
+  module Durable = Nvt_structures.Skiplist.Make (Sim_mem) (P.Durable)
+  module Izraelevitz = Nvt_structures.Skiplist.Make (Izr) (P_izr.Volatile)
+  module Link_persist = Nvt_structures.Skiplist.Make (Lp) (P_lp.Durable)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Sequential model-based testing                                      *)
+(* ------------------------------------------------------------------ *)
+
+type seq_op = Ins of int * int | Del of int | Mem of int | Fnd of int
+
+let gen_seq_ops ~rng ~n ~key_range =
+  List.init n (fun _ ->
+      let k = Random.State.int rng key_range in
+      match Random.State.int rng 4 with
+      | 0 -> Ins (k, Random.State.int rng 1000)
+      | 1 -> Del k
+      | 2 -> Mem k
+      | _ -> Fnd k)
+
+(* Run the same random operations against the structure and a reference
+   model, failing on the first divergence. Runs in simulator setup mode
+   (no simulated threads), so it exercises the pure algorithm. *)
+let check_against_model (module S : SET) ~seed ~n ~key_range () =
+  let _m = Machine.create ~seed () in
+  let rng = Random.State.make [| seed; 17 |] in
+  let s = S.create () in
+  let model : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let ops = gen_seq_ops ~rng ~n ~key_range in
+  List.iteri
+    (fun i op ->
+      let fail what expected got =
+        Alcotest.failf "op %d: %s: model=%s structure=%s" i what expected got
+      in
+      match op with
+      | Ins (k, v) ->
+        let expected = not (Hashtbl.mem model k) in
+        let got = S.insert s ~key:k ~value:v in
+        if expected then Hashtbl.replace model k v;
+        if got <> expected then
+          fail
+            (Printf.sprintf "insert %d" k)
+            (string_of_bool expected) (string_of_bool got)
+      | Del k ->
+        let expected = Hashtbl.mem model k in
+        let got = S.delete s k in
+        Hashtbl.remove model k;
+        if got <> expected then
+          fail
+            (Printf.sprintf "delete %d" k)
+            (string_of_bool expected) (string_of_bool got)
+      | Mem k ->
+        let expected = Hashtbl.mem model k in
+        let got = S.member s k in
+        if got <> expected then
+          fail
+            (Printf.sprintf "member %d" k)
+            (string_of_bool expected) (string_of_bool got)
+      | Fnd k ->
+        let expected = Hashtbl.find_opt model k in
+        let got = S.find s k in
+        if got <> expected then
+          fail
+            (Printf.sprintf "find %d" k)
+            (Fmt.str "%a" Fmt.(option ~none:(any "None") int) expected)
+            (Fmt.str "%a" Fmt.(option ~none:(any "None") int) got))
+    ops;
+  S.check_invariants s;
+  let expected =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) model []
+    |> List.sort compare
+  in
+  Alcotest.(check (list (pair int int))) "final contents" expected (S.to_list s)
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent workloads on the simulator                               *)
+(* ------------------------------------------------------------------ *)
+
+type mix = { p_insert : int; p_delete : int }
+(* percentages; the rest are lookups *)
+
+let default_mix = { p_insert = 30; p_delete = 30 }
+
+let thread_body (type a) (module S : SET with type t = a) (s : a) h m ~rng
+    ~ops ~key_range ~mix () =
+  for _ = 1 to ops do
+    let k = Random.State.int rng key_range in
+    let p = Random.State.int rng 100 in
+    if p < mix.p_insert then begin
+      let e = History.invoke h ~tid:(Machine.current_tid m)
+          ~time:(Machine.now m) (History.Insert k)
+      in
+      let r = S.insert s ~key:k ~value:k in
+      History.respond e ~time:(Machine.now m) r
+    end
+    else if p < mix.p_insert + mix.p_delete then begin
+      let e = History.invoke h ~tid:(Machine.current_tid m)
+          ~time:(Machine.now m) (History.Delete k)
+      in
+      let r = S.delete s k in
+      History.respond e ~time:(Machine.now m) r
+    end
+    else begin
+      let e = History.invoke h ~tid:(Machine.current_tid m)
+          ~time:(Machine.now m) (History.Member k)
+      in
+      let r = S.member s k in
+      History.respond e ~time:(Machine.now m) r
+    end
+  done
+
+type workload_result = {
+  history : History.t;
+  crashed : bool;
+  final : (int * int) list;
+  prefilled : int list;
+}
+
+(* Run [threads] simulated threads of random operations. If
+   [crash_at_step] is set, the machine crashes there, [recover] runs,
+   and a second era of [threads] threads runs to completion. *)
+let run_workload (module S : SET) ~seed ~threads ~ops ~key_range
+    ?(mix = default_mix) ?(eviction = Machine.No_eviction)
+    ?(cost = Nvt_nvm.Cost_model.nvram) ?stall ?(prefill = key_range / 2)
+    ?crash_at_step () =
+  let m = Machine.create ~seed ~cost ~eviction ?stall () in
+  let s = S.create () in
+  let rng = Random.State.make [| seed; 23 |] in
+  let prefilled = ref [] in
+  let tries = ref 0 in
+  while List.length !prefilled < prefill && !tries < prefill * 20 do
+    incr tries;
+    let k = Random.State.int rng key_range in
+    if S.insert s ~key:k ~value:k then prefilled := k :: !prefilled
+  done;
+  Machine.persist_all m;
+  let h = History.create () in
+  let spawn_era () =
+    for i = 0 to threads - 1 do
+      let rng = Random.State.make [| seed; 31; i; History.era h |] in
+      ignore
+        (Machine.spawn m
+           (thread_body (module S) s h m ~rng ~ops ~key_range ~mix))
+    done
+  in
+  spawn_era ();
+  (match crash_at_step with
+  | Some n -> Machine.set_crash_at_step m n
+  | None -> ());
+  let crashed =
+    match Machine.run m with
+    | Machine.Completed -> false
+    | Machine.Crashed_at t ->
+      History.mark_crash h ~time:t;
+      S.recover s;
+      (* second era: the structure must be fully usable after recovery *)
+      spawn_era ();
+      (match Machine.run m with
+      | Machine.Completed -> ()
+      | Machine.Crashed_at _ -> assert false);
+      true
+  in
+  S.check_invariants s;
+  { history = h; crashed; final = S.to_list s; prefilled = !prefilled }
+
+let check_linearizable ?(what = "history") r =
+  match Lin.check_set ~initial_keys:r.prefilled r.history with
+  | Ok () -> ()
+  | Error v -> Alcotest.failf "%s not durably linearizable:@.%a" what
+                 Lin.pp_violation v
+
+(* ------------------------------------------------------------------ *)
+(* A full test battery, shared by all set structures                   *)
+(* ------------------------------------------------------------------ *)
+
+type flavours = {
+  volatile : (module SET);
+  durable : (module SET);
+  izraelevitz : (module SET);
+  link_persist : (module SET);
+}
+
+let basic_ops (module S : SET) () =
+  let _m = Machine.create () in
+  let s = S.create () in
+  Alcotest.(check bool) "insert new" true (S.insert s ~key:5 ~value:50);
+  Alcotest.(check bool) "insert dup" false (S.insert s ~key:5 ~value:51);
+  Alcotest.(check bool) "member present" true (S.member s 5);
+  Alcotest.(check bool) "member absent" false (S.member s 6);
+  Alcotest.(check (option int)) "find" (Some 50) (S.find s 5);
+  Alcotest.(check bool) "delete present" true (S.delete s 5);
+  Alcotest.(check bool) "delete absent" false (S.delete s 5);
+  Alcotest.(check bool) "member after delete" false (S.member s 5);
+  Alcotest.(check (list (pair int int))) "empty" [] (S.to_list s);
+  (* grow and shrink through a few sizes *)
+  for k = 1 to 100 do
+    Alcotest.(check bool) "bulk insert" true (S.insert s ~key:k ~value:(-k))
+  done;
+  S.check_invariants s;
+  Alcotest.(check int) "size" 100 (S.size s);
+  for k = 1 to 100 do
+    if k mod 2 = 0 then
+      Alcotest.(check bool) "bulk delete" true (S.delete s k)
+  done;
+  S.check_invariants s;
+  Alcotest.(check int) "size after deletes" 50 (S.size s);
+  Alcotest.(check (list (pair int int)))
+    "odd keys remain"
+    (List.init 50 (fun i ->
+         let k = (2 * i) + 1 in
+         (k, -k)))
+    (S.to_list s)
+
+let concurrent_lin ~policy (module S : SET) () =
+  for seed = 0 to 9 do
+    let r =
+      run_workload (module S) ~seed ~threads:4 ~ops:30 ~key_range:8 ~prefill:4
+        ()
+    in
+    check_linearizable ~what:(Printf.sprintf "%s seed %d" policy seed) r
+  done
+
+let crash_recovery ~policy (module S : SET) () =
+  List.iter
+    (fun eviction ->
+      for seed = 0 to 9 do
+        let r =
+          run_workload (module S) ~seed ~threads:4 ~ops:40 ~key_range:8
+            ~prefill:4 ~eviction
+            ~crash_at_step:(100 + (67 * seed))
+            ()
+        in
+        Alcotest.(check bool) "crashed" true r.crashed;
+        check_linearizable
+          ~what:(Printf.sprintf "%s crash seed %d" policy seed)
+          r
+      done)
+    [ Machine.No_eviction; Machine.Random_eviction 0.05 ]
+
+(* The volatile algorithm run on the simulator must lose data across
+   some crash: with no flushes and no evictions nothing after setup is
+   persistent, so at least one seed must yield a corrupt read or a
+   non-durably-linearizable history. *)
+let volatile_not_durable (module S : SET) () =
+  let violations = ref 0 in
+  for seed = 0 to 9 do
+    match
+      run_workload (module S) ~seed ~threads:4 ~ops:40 ~key_range:8 ~prefill:4
+        ~crash_at_step:(100 + (67 * seed))
+        ()
+    with
+    | exception Machine.Corrupt_read _ -> incr violations
+    | r -> (
+      match Lin.check_set ~initial_keys:r.prefilled r.history with
+      | Ok () -> ()
+      | Error _ -> incr violations)
+  done;
+  if !violations = 0 then
+    Alcotest.fail
+      "volatile structure survived every crash; the simulator is not \
+       detecting missing flushes"
+
+let structure_suite fl =
+  let tc = Alcotest.test_case in
+  [ tc "basic ops: durable" `Quick (basic_ops fl.durable);
+    tc "model: durable" `Quick (fun () ->
+        check_against_model fl.durable ~seed:1 ~n:2000 ~key_range:64 ());
+    tc "model: volatile" `Quick (fun () ->
+        check_against_model fl.volatile ~seed:2 ~n:2000 ~key_range:64 ());
+    tc "model: izraelevitz" `Quick (fun () ->
+        check_against_model fl.izraelevitz ~seed:3 ~n:2000 ~key_range:64 ());
+    tc "model: link-and-persist" `Quick (fun () ->
+        check_against_model fl.link_persist ~seed:4 ~n:2000 ~key_range:64 ());
+    tc "linearizable: durable" `Quick
+      (concurrent_lin ~policy:"durable" fl.durable);
+    tc "linearizable: volatile" `Quick
+      (concurrent_lin ~policy:"volatile" fl.volatile);
+    tc "linearizable: izraelevitz" `Quick
+      (concurrent_lin ~policy:"izraelevitz" fl.izraelevitz);
+    tc "linearizable: link-and-persist" `Quick
+      (concurrent_lin ~policy:"lp" fl.link_persist);
+    tc "crash recovery: durable" `Quick
+      (crash_recovery ~policy:"durable" fl.durable);
+    tc "crash recovery: izraelevitz" `Quick
+      (crash_recovery ~policy:"izraelevitz" fl.izraelevitz);
+    tc "crash recovery: link-and-persist" `Quick
+      (crash_recovery ~policy:"lp" fl.link_persist);
+    tc "crash recovery: durable, stalls" `Quick (fun () ->
+        for seed = 0 to 9 do
+          let r =
+            run_workload fl.durable ~seed ~threads:4 ~ops:40 ~key_range:8
+              ~prefill:4 ~eviction:(Machine.Random_eviction 0.05)
+              ~stall:{ Machine.probability = 0.05; max_units = 20_000 }
+              ~crash_at_step:(100 + (67 * seed))
+              ()
+          in
+          check_linearizable ~what:(Printf.sprintf "stall seed %d" seed) r
+        done);
+    tc "linearizable: durable, dram profile" `Quick (fun () ->
+        for seed = 0 to 4 do
+          let r =
+            run_workload fl.durable ~seed ~threads:4 ~ops:30 ~key_range:8
+              ~prefill:4 ~cost:Nvt_nvm.Cost_model.dram ()
+          in
+          check_linearizable ~what:(Printf.sprintf "dram seed %d" seed) r
+        done);
+    tc "volatile is not durable" `Quick (volatile_not_durable fl.volatile)
+  ]

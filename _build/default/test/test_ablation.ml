@@ -1,0 +1,223 @@
+(* Necessity of the transformation's flushes (Section 4.3): "the flush
+   and fence instructions we prescribe are necessary; removing any of
+   them could violate the correctness of some NVTraverse data
+   structure." Each test disables exactly one class of injected
+   instructions through the engine's ablation hook and drives the
+   crippled structure to a durability violation — while the intact
+   engine survives the identical adversary.
+
+   The windows only open when a thread can be descheduled between its
+   publishing CAS and its fence, so these runs enable the machine's
+   stall injection. *)
+
+open Support
+
+(* A dedicated instantiation whose engine the ablation ref controls. *)
+module La = Nvt_structures.Harris_list.Make (Sim_mem) (P.Durable)
+
+let stall = { Machine.probability = 0.05; max_units = 30_000 }
+
+(* Insert-heavy adjacent-key traffic maximizes the chance that one
+   thread builds on another's not-yet-persistent link. *)
+let run_once ~seed ~crash_at =
+  let m =
+    Machine.create ~seed ~stall ~eviction:Machine.No_eviction ()
+  in
+  let s = La.create () in
+  let prefilled = List.filter (fun k -> La.insert s ~key:k ~value:k) [ 0; 9 ] in
+  Machine.persist_all m;
+  let h = History.create () in
+  for tid = 0 to 3 do
+    let rng = Random.State.make [| seed; tid; 77 |] in
+    ignore
+      (Machine.spawn m (fun () ->
+           for _ = 1 to 20 do
+             let k = 1 + Random.State.int rng 8 in
+             let record op f =
+               let e =
+                 History.invoke h ~tid:(Machine.current_tid m)
+                   ~time:(Machine.now m) op
+               in
+               let r = f () in
+               History.respond e ~time:(Machine.now m) r
+             in
+             match Random.State.int rng 10 with
+             | 0 | 1 | 2 | 3 ->
+               record (History.Insert k) (fun () -> La.insert s ~key:k ~value:k)
+             | 4 | 5 | 6 ->
+               record (History.Delete k) (fun () -> La.delete s k)
+             | _ -> record (History.Member k) (fun () -> La.member s k)
+           done))
+  done;
+  Machine.set_crash_at_step m crash_at;
+  match Machine.run m with
+  | Machine.Completed -> `No_crash
+  | Machine.Crashed_at t -> (
+    History.mark_crash h ~time:t;
+    match
+      La.recover s;
+      La.check_invariants s;
+      (* verification era: observe every key so that lost completed
+         inserts and resurrected deletes become visible to the checker *)
+      ignore
+        (Machine.spawn m (fun () ->
+             for k = 0 to 9 do
+               let e =
+                 History.invoke h ~tid:(Machine.current_tid m)
+                   ~time:(Machine.now m) (History.Member k)
+               in
+               History.respond e ~time:(Machine.now m) (La.member s k)
+             done));
+      Machine.run m
+    with
+    | exception Machine.Corrupt_read _ -> `Violation
+    | exception Failure _ -> `Violation
+    | Machine.Crashed_at _ -> assert false
+    | Machine.Completed -> (
+      match Lin.check_set ~initial_keys:prefilled h with
+      | Ok () -> `Ok
+      | Error _ -> `Violation))
+
+let count_violations () =
+  let violations = ref 0 and crashes = ref 0 in
+  for seed = 0 to 120 do
+    match run_once ~seed ~crash_at:(60 + (23 * seed)) with
+    | `Violation ->
+      incr crashes;
+      incr violations
+    | `Ok -> incr crashes
+    | `No_crash -> ()
+  done;
+  (!violations, !crashes)
+
+let with_ablation ab f =
+  La.E.ablation := ab;
+  Fun.protect ~finally:(fun () -> La.E.ablation := La.E.no_ablation) f
+
+let intact_engine_survives () =
+  with_ablation La.E.no_ablation (fun () ->
+      let v, c = count_violations () in
+      if c < 50 then Alcotest.failf "only %d crashing runs; adversary too weak" c;
+      Alcotest.(check int) "no violations with the full protocol" 0 v)
+
+let necessity name ab () =
+  with_ablation ab (fun () ->
+      let v, _ = count_violations () in
+      if v = 0 then
+        Alcotest.failf
+          "disabling %s caused no violation in 120 adversarial runs — \
+           either the flush class is not exercised or the adversary is \
+           too weak"
+          name)
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic windows                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The ensureReachable and makePersistent windows need precise timing:
+   T0's insert must sit *between its publishing CAS and its fence* while
+   T1 completes an operation that depends on the unfenced link. The
+   scheduler hook makes this deterministic: run T0 for exactly [s0]
+   steps, then run T1 to completion, then crash — and sweep [s0] over
+   every suspension point of T0. The intact engine survives every s0;
+   the ablated engine must lose T1's completed operation at some s0. *)
+
+type t1_op = Insert4 | Member3
+
+let window_run ~s0 ~mseed ~t1 =
+  let m = Machine.create ~seed:mseed () in
+  let s = La.create () in
+  let prefilled = List.filter (fun k -> La.insert s ~key:k ~value:k) [ 2; 6 ] in
+  Machine.persist_all m;
+  let h = History.create () in
+  let record op f () =
+    let e =
+      History.invoke h ~tid:(Machine.current_tid m) ~time:(Machine.now m) op
+    in
+    let r = f () in
+    History.respond e ~time:(Machine.now m) r
+  in
+  let t0 =
+    Machine.spawn m (record (History.Insert 3) (fun () ->
+        La.insert s ~key:3 ~value:3))
+  in
+  let t1_tid =
+    match t1 with
+    | Insert4 ->
+      Machine.spawn m (record (History.Insert 4) (fun () ->
+          La.insert s ~key:4 ~value:4))
+    | Member3 ->
+      Machine.spawn m (record (History.Member 3) (fun () -> La.member s 3))
+  in
+  let picked0 = ref 0 in
+  Machine.set_scheduler m (fun m runnable ->
+      if List.mem t0 runnable && !picked0 < s0 then begin
+        incr picked0;
+        t0
+      end
+      else if List.mem t1_tid runnable then t1_tid
+      else begin
+        (* only T0 is left: freeze the world here *)
+        Machine.set_crash_at_step m (Machine.steps m);
+        t0
+      end);
+  match Machine.run m with
+  | Machine.Completed -> `No_crash
+  | Machine.Crashed_at t -> (
+    History.mark_crash h ~time:t;
+    Machine.clear_scheduler m;
+    La.recover s;
+    ignore
+      (Machine.spawn m (fun () ->
+           List.iter
+             (fun k ->
+               (record (History.Member k) (fun () -> La.member s k)) ())
+             [ 2; 3; 4; 6 ]));
+    (match Machine.run m with
+    | Machine.Completed -> ()
+    | Machine.Crashed_at _ -> assert false);
+    match Lin.check_set ~initial_keys:prefilled h with
+    | Ok () -> `Ok
+    | Error _ -> `Violation)
+
+let window_sweep ~t1 () =
+  let violations = ref 0 in
+  for s0 = 1 to 40 do
+    for mseed = 0 to 4 do
+      match window_run ~s0 ~mseed ~t1 with
+      | `Violation -> incr violations
+      | `Ok | `No_crash -> ()
+    done
+  done;
+  !violations
+
+let deterministic_necessity name ab ~t1 () =
+  with_ablation ab (fun () ->
+      if window_sweep ~t1 () = 0 then
+        Alcotest.failf
+          "disabling %s caused no violation at any suspension point" name)
+
+let intact_windows () =
+  with_ablation La.E.no_ablation (fun () ->
+      List.iter
+        (fun t1 ->
+          let v = window_sweep ~t1 () in
+          Alcotest.(check int) "no violation at any suspension point" 0 v)
+        [ Insert4; Member3 ])
+
+let suite =
+  [ Alcotest.test_case "intact engine survives the adversary" `Quick
+      intact_engine_survives;
+    Alcotest.test_case "intact engine survives every window" `Quick
+      intact_windows;
+    Alcotest.test_case "ensureReachable is necessary" `Quick
+      (deterministic_necessity "ensureReachable"
+         { La.E.no_ablation with skip_ensure_reachable = true }
+         ~t1:Insert4);
+    Alcotest.test_case "makePersistent's flushes are necessary" `Quick
+      (deterministic_necessity "makePersistent"
+         { La.E.no_ablation with skip_persist_set = true }
+         ~t1:Member3);
+    Alcotest.test_case "fence-before-return is necessary" `Quick
+      (necessity "the final fence"
+         { La.E.no_ablation with skip_final_fence = true }) ]

@@ -1,0 +1,49 @@
+(* Ellen et al. BST: the shared battery plus tree-specific cases. *)
+
+open Support
+
+let flavours =
+  { volatile = (module Eb.Volatile : SET);
+    durable = (module Eb.Durable : SET);
+    izraelevitz = (module Eb.Izraelevitz : SET);
+    link_persist = (module Eb.Link_persist : SET) }
+
+(* The tree keeps its external-BST shape through skewed insertion
+   orders. *)
+let shapes () =
+  let _m = Machine.create () in
+  let module S = Eb.Durable in
+  List.iter
+    (fun keys ->
+      let s = S.create () in
+      List.iter (fun k -> ignore (S.insert s ~key:k ~value:k)) keys;
+      S.check_invariants s;
+      Alcotest.(check (list (pair int int)))
+        "contents"
+        (List.sort compare (List.map (fun k -> (k, k)) keys))
+        (S.to_list s))
+    [ List.init 64 Fun.id;
+      List.rev (List.init 64 Fun.id);
+      [ 32; 16; 48; 8; 24; 40; 56; 4; 12; 20; 28; 36; 44; 52; 60 ] ]
+
+(* Delete-heavy crashes leave flags/marks behind; recovery must help
+   every descriptor to completion and restore a clean tree. *)
+let recovery_completes_descriptors () =
+  for seed = 0 to 19 do
+    let r =
+      run_workload
+        (module Eb.Durable)
+        ~seed ~threads:4 ~ops:40 ~key_range:8 ~prefill:4
+        ~mix:{ p_insert = 40; p_delete = 50 }
+        ~crash_at_step:(150 + (53 * seed))
+        ()
+    in
+    Alcotest.(check bool) "crashed" true r.crashed;
+    check_linearizable ~what:(Printf.sprintf "descriptor seed %d" seed) r
+  done
+
+let suite =
+  structure_suite flavours
+  @ [ Alcotest.test_case "shapes" `Quick shapes;
+      Alcotest.test_case "recovery completes descriptors" `Quick
+        recovery_completes_descriptors ]

@@ -1,0 +1,67 @@
+(* Hash table (bucketed Harris lists): the shared battery plus
+   bucket-placement cases. *)
+
+open Support
+
+let flavours =
+  { volatile = (module Ht.Volatile : SET);
+    durable = (module Ht.Durable : SET);
+    izraelevitz = (module Ht.Izraelevitz : SET);
+    link_persist = (module Ht.Link_persist : SET) }
+
+(* Keys that collide into the same bucket behave like a list; keys that
+   spread exercise the directory. *)
+let collisions () =
+  let _m = Machine.create () in
+  let module S = Ht.Durable in
+  let s = S.create_sized 4 in
+  (* all hit bucket 1 *)
+  List.iter
+    (fun k -> Alcotest.(check bool) "insert" true (S.insert s ~key:k ~value:k))
+    [ 1; 5; 9; 13; 17 ];
+  S.check_invariants s;
+  Alcotest.(check int) "size" 5 (S.size s);
+  Alcotest.(check bool) "delete middle" true (S.delete s 9);
+  Alcotest.(check bool) "member gone" false (S.member s 9);
+  Alcotest.(check bool) "others intact" true (S.member s 13);
+  S.check_invariants s
+
+let small_directory_model () =
+  (* With very few buckets every bucket sees contention and long
+     chains. *)
+  let module S = struct
+    include Ht.Durable
+
+    let create () = create_sized 2
+  end in
+  check_against_model (module S) ~seed:11 ~n:2000 ~key_range:64 ()
+
+(* The directory composes with any bucket structure: tables of BSTs and
+   of skiplists behave identically. *)
+let generic_buckets () =
+  let module Hb =
+    Nvt_structures.Hash_table.Make_generic (Eb.Durable)
+  in
+  let module Hs =
+    Nvt_structures.Hash_table.Make_generic (Sl.Durable)
+  in
+  let module T1 = struct
+    include Hb
+
+    let create () = create_sized 8
+  end in
+  let module T2 = struct
+    include Hs
+
+    let create () = create_sized 8
+  end in
+  check_against_model (module T1) ~seed:21 ~n:1500 ~key_range:64 ();
+  check_against_model (module T2) ~seed:22 ~n:1500 ~key_range:64 ()
+
+let suite =
+  structure_suite flavours
+  @ [ Alcotest.test_case "collisions" `Quick collisions;
+      Alcotest.test_case "model: 2-bucket directory" `Quick
+        small_directory_model;
+      Alcotest.test_case "model: BST and skiplist buckets" `Quick
+        generic_buckets ]

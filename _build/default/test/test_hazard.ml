@@ -1,0 +1,90 @@
+(* Hazard pointers: protection blocks frees; unprotected garbage is
+   reclaimed; the classic publish-and-revalidate pattern survives
+   adversarial interleavings. *)
+
+open Support
+module Hp = Nvt_reclaim.Hazard_pointers.Make (Sim_mem)
+
+let protection_blocks_free () =
+  let _m = Machine.create () in
+  let hp = Hp.create ~max_threads:2 () in
+  let freed = ref false in
+  Hp.protect hp ~tid:0 ~slot:0 42;
+  Hp.retire hp ~tid:1 ~tag:42 (fun () -> freed := true);
+  ignore (Hp.scan hp ~tid:1);
+  Alcotest.(check bool) "protected node not freed" false !freed;
+  Alcotest.(check int) "pending" 1 (Hp.pending hp);
+  Hp.clear hp ~tid:0 ~slot:0;
+  ignore (Hp.scan hp ~tid:1);
+  Alcotest.(check bool) "freed after clear" true !freed;
+  Alcotest.(check int) "drained" 0 (Hp.pending hp)
+
+let unprotected_reclaimed () =
+  let _m = Machine.create () in
+  let hp = Hp.create ~scan_threshold:4 ~max_threads:1 () in
+  let freed = ref 0 in
+  for tag = 0 to 9 do
+    Hp.retire hp ~tid:0 ~tag (fun () -> incr freed)
+  done;
+  Hp.drain hp;
+  Alcotest.(check int) "all reclaimed" 10 !freed
+
+(* Publish-and-revalidate under adversarial interleavings: a writer
+   keeps replacing the node in a shared cell and retiring the old one; a
+   reader publishes a hazard for the node it read, re-validates that the
+   cell still holds it, and only then dereferences. The dereference must
+   never observe a freed (poisoned) node. *)
+let publish_revalidate () =
+  for seed = 0 to 19 do
+    let m = Machine.create ~seed () in
+    let threads = 4 in
+    let hp = Hp.create ~scan_threshold:2 ~max_threads:threads () in
+    let next_tag = ref 0 in
+    let make_node () =
+      let tag = !next_tag in
+      incr next_tag;
+      (tag, Sim_mem.alloc false (* freed? *))
+    in
+    let shared = Sim_mem.alloc (make_node ()) in
+    Machine.persist_all m;
+    ignore
+      (Machine.spawn m (fun () ->
+           for _ = 0 to 30 do
+             let (old_tag, old_cell) = Sim_mem.read shared in
+             Sim_mem.write shared (make_node ());
+             Hp.retire hp ~tid:0 ~tag:old_tag (fun () ->
+                 Sim_mem.write old_cell true)
+           done));
+    for tid = 1 to threads - 1 do
+      ignore
+        (Machine.spawn m (fun () ->
+             for _ = 0 to 30 do
+               (* publish, re-validate, dereference *)
+               let rec acquire () =
+                 let ((tag, cell) as n) = Sim_mem.read shared in
+                 Hp.protect hp ~tid ~slot:0 tag;
+                 if Sim_mem.read shared == n then (tag, cell)
+                 else acquire ()
+               in
+               let _, cell = acquire () in
+               if Sim_mem.read cell then
+                 Alcotest.failf "use after free (seed %d, tid %d)" seed tid;
+               Hp.clear hp ~tid ~slot:0
+             done))
+    done;
+    (match Machine.run m with
+    | Machine.Completed -> ()
+    | Machine.Crashed_at _ -> assert false);
+    Hp.drain hp;
+    (* the node currently installed can never be retired; all others
+       must be reclaimable once hazards are cleared *)
+    Alcotest.(check int)
+      (Printf.sprintf "limbo drained (seed %d)" seed)
+      0 (Hp.pending hp)
+  done
+
+let suite =
+  [ Alcotest.test_case "protection blocks free" `Quick protection_blocks_free;
+    Alcotest.test_case "unprotected garbage reclaimed" `Quick
+      unprotected_reclaimed;
+    Alcotest.test_case "publish and revalidate" `Quick publish_revalidate ]

@@ -1,0 +1,53 @@
+(* Natarajan–Mittal BST: the shared battery plus edge-bit cases. *)
+
+open Support
+
+let flavours =
+  { volatile = (module Nm.Volatile : SET);
+    durable = (module Nm.Durable : SET);
+    izraelevitz = (module Nm.Izraelevitz : SET);
+    link_persist = (module Nm.Link_persist : SET) }
+
+let shapes () =
+  let _m = Machine.create () in
+  let module S = Nm.Durable in
+  List.iter
+    (fun keys ->
+      let s = S.create () in
+      List.iter (fun k -> ignore (S.insert s ~key:k ~value:k)) keys;
+      S.check_invariants s;
+      Alcotest.(check (list (pair int int)))
+        "contents"
+        (List.sort compare (List.map (fun k -> (k, k)) keys))
+        (S.to_list s);
+      (* delete everything in a different order *)
+      List.iter
+        (fun k -> Alcotest.(check bool) "delete" true (S.delete s k))
+        (List.sort compare keys);
+      S.check_invariants s;
+      Alcotest.(check (list (pair int int))) "emptied" [] (S.to_list s))
+    [ List.init 64 Fun.id;
+      List.rev (List.init 64 Fun.id);
+      [ 32; 16; 48; 8; 24; 40; 56; 4; 12; 20; 28; 36; 44; 52; 60 ] ]
+
+(* Crashing mid-delete leaves flagged/tagged edges; recovery must excise
+   every injected delete and clear stray tags. *)
+let recovery_completes_deletes () =
+  for seed = 0 to 19 do
+    let r =
+      run_workload
+        (module Nm.Durable)
+        ~seed ~threads:4 ~ops:40 ~key_range:8 ~prefill:4
+        ~mix:{ p_insert = 40; p_delete = 50 }
+        ~crash_at_step:(150 + (53 * seed))
+        ()
+    in
+    Alcotest.(check bool) "crashed" true r.crashed;
+    check_linearizable ~what:(Printf.sprintf "nm crash seed %d" seed) r
+  done
+
+let suite =
+  structure_suite flavours
+  @ [ Alcotest.test_case "shapes" `Quick shapes;
+      Alcotest.test_case "recovery completes deletes" `Quick
+        recovery_completes_deletes ]

@@ -1,0 +1,69 @@
+(* OneFile-style PTM and the set built on it: model tests, concurrent
+   linearizability, transaction atomicity across crashes. *)
+
+open Support
+module Ptm = Nvt_baselines.Onefile.Make (Sim_mem)
+module Oset = Nvt_baselines.Onefile.Set (Sim_mem)
+
+let set : (module SET) = (module Oset)
+
+let model () = check_against_model set ~seed:5 ~n:2000 ~key_range:64 ()
+
+let lin () =
+  for seed = 0 to 9 do
+    let r =
+      run_workload set ~seed ~threads:4 ~ops:30 ~key_range:8 ~prefill:4 ()
+    in
+    check_linearizable ~what:(Printf.sprintf "onefile seed %d" seed) r
+  done
+
+let crash () =
+  List.iter
+    (fun eviction ->
+      for seed = 0 to 9 do
+        let r =
+          run_workload set ~seed ~threads:4 ~ops:40 ~key_range:8 ~prefill:4
+            ~eviction
+            ~crash_at_step:(100 + (67 * seed))
+            ()
+        in
+        Alcotest.(check bool) "crashed" true r.crashed;
+        check_linearizable ~what:(Printf.sprintf "onefile crash %d" seed) r
+      done)
+    [ Machine.No_eviction; Machine.Random_eviction 0.05 ]
+
+(* Transaction atomicity: a transaction writing several locations is
+   never partially visible after a crash — either all logged writes
+   survive or none do. *)
+let txn_atomicity () =
+  for seed = 0 to 19 do
+    let m = Machine.create ~seed ~eviction:(Machine.Random_eviction 0.05) () in
+    let t = Ptm.create () in
+    let a = Ptm.alloc 0 and b = Ptm.alloc 0 in
+    Machine.persist_all m;
+    ignore
+      (Machine.spawn m (fun () ->
+           for i = 1 to 20 do
+             ignore
+               (Ptm.atomically t (fun txn ->
+                    Ptm.twrite txn a i;
+                    Ptm.twrite txn b (-i)))
+           done));
+    Machine.set_crash_at_step m (30 + (17 * seed));
+    (match Machine.run m with
+    | Machine.Crashed_at _ ->
+      Ptm.recover t;
+      let va, vb =
+        Ptm.read_only t (fun txn -> (Ptm.tread txn a, Ptm.tread txn b))
+      in
+      if va <> -vb then
+        Alcotest.failf "torn transaction after crash: a=%d b=%d (seed %d)" va
+          vb seed
+    | Machine.Completed -> ())
+  done
+
+let suite =
+  [ Alcotest.test_case "model" `Quick model;
+    Alcotest.test_case "linearizable" `Quick lin;
+    Alcotest.test_case "crash recovery" `Quick crash;
+    Alcotest.test_case "transaction atomicity" `Quick txn_atomicity ]

@@ -1,0 +1,122 @@
+(* Priority queue (skiplist delete-min): sequential model, concurrent
+   multiset and ordering checks, crash durability. *)
+
+open Support
+module Pq = Nvt_structures.Priority_queue.Make (Sim_mem) (P.Durable)
+
+let sequential_model () =
+  let _m = Machine.create () in
+  let q = Pq.create () in
+  let module Im = Map.Make (Int) in
+  let model = ref Im.empty in
+  let rng = Random.State.make [| 13 |] in
+  for i = 0 to 2000 do
+    if Random.State.int rng 3 > 0 then begin
+      let p = Random.State.int rng 512 in
+      let expected = not (Im.mem p !model) in
+      if expected then model := Im.add p i !model;
+      Alcotest.(check bool)
+        (Printf.sprintf "insert %d" i)
+        expected
+        (Pq.insert q ~priority:p ~value:i)
+    end
+    else begin
+      let expected = Im.min_binding_opt !model in
+      (match expected with
+      | Some (p, _) -> model := Im.remove p !model
+      | None -> ());
+      Alcotest.(check (option (pair int int)))
+        (Printf.sprintf "extract_min %d" i)
+        expected (Pq.extract_min q)
+    end
+  done;
+  Pq.check_invariants q;
+  Alcotest.(check (list (pair int int)))
+    "final" (Im.bindings !model) (Pq.to_list q)
+
+(* Concurrent extract-min: each element extracted exactly once, and
+   extractions respect priority order against non-overlapping
+   extractions (if e1 responded before e2 was invoked and both ran when
+   neither's priority was yet extracted, e1's priority < e2's only if
+   e1's priority was the minimum then — we check the weaker multiset
+   and monotonicity-per-thread properties, which are unconditionally
+   sound). *)
+let concurrent ~crash () =
+  for seed = 0 to 9 do
+    let m = Machine.create ~seed () in
+    let q = Pq.create () in
+    let inserted = Hashtbl.create 64 in
+    for p = 0 to 63 do
+      if Pq.insert q ~priority:p ~value:p then Hashtbl.replace inserted p ()
+    done;
+    Machine.persist_all m;
+    let extracted = ref [] in
+    let in_flight = ref 0 and stranded = ref 0 in
+    let per_thread_orders = Array.make 4 [] in
+    let spawn_era () =
+      for tid = 0 to 3 do
+        ignore
+          (Machine.spawn m (fun () ->
+               for _ = 0 to 9 do
+                 incr in_flight;
+                 (match Pq.extract_min q with
+                 | Some (p, _) ->
+                   extracted := p :: !extracted;
+                   per_thread_orders.(tid) <- p :: per_thread_orders.(tid)
+                 | None -> ());
+                 decr in_flight
+               done))
+      done
+    in
+    spawn_era ();
+    if crash then Machine.set_crash_at_step m (400 + (83 * seed));
+    (match Machine.run m with
+    | Machine.Completed -> ()
+    | Machine.Crashed_at _ ->
+      stranded := !in_flight;
+      in_flight := 0;
+      Pq.recover q;
+      Pq.check_invariants q;
+      spawn_era ();
+      (match Machine.run m with
+      | Machine.Completed -> ()
+      | Machine.Crashed_at _ -> assert false));
+    Pq.check_invariants q;
+    let remaining = List.map fst (Pq.to_list q) in
+    (* exactly-once extraction *)
+    let seen = Hashtbl.create 64 in
+    List.iter
+      (fun p ->
+        if Hashtbl.mem seen p then
+          Alcotest.failf "priority %d extracted twice (seed %d)" p seed;
+        Hashtbl.replace seen p ())
+      (!extracted @ remaining);
+    (* nothing lost beyond stranded extractions *)
+    let missing = ref 0 in
+    Hashtbl.iter
+      (fun p () -> if not (Hashtbl.mem seen p) then incr missing)
+      inserted;
+    if !missing > !stranded then
+      Alcotest.failf "%d priorities lost, only %d extracts stranded (seed %d)"
+        !missing !stranded seed;
+    (* each thread's extractions are increasing: a single thread's later
+       extract-min can only return a larger priority *)
+    Array.iteri
+      (fun tid order ->
+        let order = List.rev order in
+        let rec check = function
+          | a :: (b :: _ as rest) ->
+            if a >= b then
+              Alcotest.failf
+                "thread %d extracted %d then %d (seed %d)" tid a b seed;
+            check rest
+          | _ -> ()
+        in
+        check order)
+      per_thread_orders
+  done
+
+let suite =
+  [ Alcotest.test_case "sequential model" `Quick sequential_model;
+    Alcotest.test_case "concurrent extract-min" `Quick (concurrent ~crash:false);
+    Alcotest.test_case "crash durability" `Quick (concurrent ~crash:true) ]

@@ -1,0 +1,305 @@
+(* Property-based tests (qcheck, registered as alcotest cases).
+
+   The central properties:
+   - every structure agrees with a reference model on arbitrary
+     operation sequences, under every persistence policy;
+   - structural invariants survive arbitrary operation sequences;
+   - simulated runs are deterministic in their seed;
+   - sequential histories generated from the model are always accepted
+     by the linearizability checker;
+   - the workload generator respects its mix and prefill contract. *)
+
+open Support
+
+type op = Ins of int * int | Del of int | Mem of int
+
+let op_gen range =
+  QCheck.Gen.(
+    int_bound (range - 1) >>= fun k ->
+    frequency
+      [ (3, map (fun v -> Ins (k, v)) (int_bound 1000));
+        (2, return (Del k));
+        (2, return (Mem k)) ])
+
+let print_op = function
+  | Ins (k, v) -> Printf.sprintf "ins(%d,%d)" k v
+  | Del k -> Printf.sprintf "del(%d)" k
+  | Mem k -> Printf.sprintf "mem(%d)" k
+
+let ops_arbitrary ?(max_len = 400) range =
+  QCheck.make
+    ~print:(fun l -> String.concat "; " (List.map print_op l))
+    QCheck.Gen.(list_size (int_bound max_len) (op_gen range))
+
+(* Run ops against both the structure and a model; true iff all results
+   and the final contents agree and invariants hold. *)
+let agrees_with_model (module S : SET) ops =
+  let _m = Machine.create () in
+  let s = S.create () in
+  let model = Hashtbl.create 64 in
+  let ok = ref true in
+  List.iter
+    (fun op ->
+      match op with
+      | Ins (k, v) ->
+        let expected = not (Hashtbl.mem model k) in
+        if expected then Hashtbl.replace model k v;
+        if S.insert s ~key:k ~value:v <> expected then ok := false
+      | Del k ->
+        let expected = Hashtbl.mem model k in
+        Hashtbl.remove model k;
+        if S.delete s k <> expected then ok := false
+      | Mem k -> if S.member s k <> Hashtbl.mem model k then ok := false)
+    ops;
+  S.check_invariants s;
+  let final =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) model [] |> List.sort compare
+  in
+  !ok && final = S.to_list s
+
+let model_prop name set =
+  QCheck.Test.make ~count:100 ~name (ops_arbitrary 32) (agrees_with_model set)
+
+(* Sequential histories built from a faithful model must be accepted. *)
+let checker_accepts_sequential =
+  QCheck.Test.make ~count:200 ~name:"checker accepts sequential histories"
+    (ops_arbitrary ~max_len:60 8)
+    (fun ops ->
+      let h = History.create () in
+      let model = Hashtbl.create 16 in
+      List.iteri
+        (fun i op ->
+          let t = i * 10 in
+          let record o r =
+            let e = History.invoke h ~tid:0 ~time:t o in
+            History.respond e ~time:(t + 5) r
+          in
+          match op with
+          | Ins (k, _) ->
+            let r = not (Hashtbl.mem model k) in
+            if r then Hashtbl.replace model k ();
+            record (History.Insert k) r
+          | Del k ->
+            let r = Hashtbl.mem model k in
+            Hashtbl.remove model k;
+            record (History.Delete k) r
+          | Mem k -> record (History.Member k) (Hashtbl.mem model k))
+        ops;
+      match Lin.check_set h with Ok () -> true | Error _ -> false)
+
+(* Corrupting one completed insert's result in a dense sequential
+   history must be caught (inserting twice / failing on an absent key
+   are both visible with this op mix). *)
+let checker_rejects_corruption =
+  QCheck.Test.make ~count:200 ~name:"checker rejects corrupted results"
+    QCheck.(pair (ops_arbitrary ~max_len:50 4) (int_bound 1000))
+    (fun (ops, flip_seed) ->
+      let events = ref [] in
+      let h = History.create () in
+      let model = Hashtbl.create 16 in
+      List.iteri
+        (fun i op ->
+          let t = i * 10 in
+          let record o r =
+            let e = History.invoke h ~tid:0 ~time:t o in
+            History.respond e ~time:(t + 5) r;
+            events := e :: !events
+          in
+          match op with
+          | Ins (k, _) ->
+            let r = not (Hashtbl.mem model k) in
+            if r then Hashtbl.replace model k ();
+            record (History.Insert k) r
+          | Del k ->
+            let r = Hashtbl.mem model k in
+            Hashtbl.remove model k;
+            record (History.Delete k) r
+          | Mem k -> record (History.Member k) (Hashtbl.mem model k))
+        ops;
+      let events = Array.of_list !events in
+      if Array.length events = 0 then true
+      else begin
+        (* flip one member's result: always a genuine violation in a
+           sequential history *)
+        let members =
+          Array.to_list events
+          |> List.filter (fun (e : History.event) ->
+                 match e.op with History.Member _ -> true | _ -> false)
+        in
+        match members with
+        | [] -> true (* nothing to corrupt; vacuously fine *)
+        | _ ->
+          let e = List.nth members (flip_seed mod List.length members) in
+          e.History.result <- Option.map not e.History.result;
+          (match Lin.check_set h with Ok () -> false | Error _ -> true)
+      end)
+
+(* Queue/stack/priority-queue sequential model properties. *)
+
+type seq_op2 = Push of int | Pop
+
+let ops2_arbitrary =
+  QCheck.make
+    ~print:(fun l ->
+      String.concat "; "
+        (List.map
+           (function Push v -> Printf.sprintf "push %d" v | Pop -> "pop")
+           l))
+    QCheck.Gen.(
+      list_size (int_bound 300)
+        (frequency
+           [ (3, map (fun v -> Push v) (int_bound 1000)); (2, return Pop) ]))
+
+let queue_model =
+  QCheck.Test.make ~count:100 ~name:"ms queue = FIFO model" ops2_arbitrary
+    (fun ops ->
+      let _m = Machine.create () in
+      let module Q = Nvt_structures.Ms_queue.Make (Sim_mem) (P.Durable) in
+      let q = Q.create () in
+      let model = Queue.create () in
+      List.for_all
+        (function
+          | Push v ->
+            Q.enqueue q v;
+            Queue.add v model;
+            true
+          | Pop -> Q.dequeue q = Queue.take_opt model)
+        ops
+      && Q.to_list q = List.of_seq (Queue.to_seq model))
+
+let stack_model =
+  QCheck.Test.make ~count:100 ~name:"treiber stack = LIFO model"
+    ops2_arbitrary (fun ops ->
+      let _m = Machine.create () in
+      let module S = Nvt_structures.Treiber_stack.Make (Sim_mem) (P.Durable) in
+      let s = S.create () in
+      let model = ref [] in
+      List.for_all
+        (function
+          | Push v ->
+            S.push s v;
+            model := v :: !model;
+            true
+          | Pop -> (
+            let expected =
+              match !model with
+              | [] -> None
+              | x :: rest ->
+                model := rest;
+                Some x
+            in
+            S.pop s = expected))
+        ops
+      && S.to_list s = !model)
+
+let pqueue_model =
+  QCheck.Test.make ~count:100 ~name:"priority queue = min-map model"
+    ops2_arbitrary (fun ops ->
+      let _m = Machine.create () in
+      let module Pq = Nvt_structures.Priority_queue.Make (Sim_mem) (P.Durable)
+      in
+      let module Im = Map.Make (Int) in
+      let q = Pq.create () in
+      let model = ref Im.empty in
+      List.for_all
+        (function
+          | Push v ->
+            let expected = not (Im.mem v !model) in
+            if expected then model := Im.add v v !model;
+            Pq.insert q ~priority:v ~value:v = expected
+          | Pop -> (
+            let expected = Im.min_binding_opt !model in
+            (match expected with
+            | Some (p, _) -> model := Im.remove p !model
+            | None -> ());
+            Pq.extract_min q = expected))
+        ops
+      && Pq.to_list q = Im.bindings !model)
+
+(* Recovery on a quiescent, fully persistent structure is a no-op. *)
+let recover_noop name set =
+  QCheck.Test.make ~count:50
+    ~name:(name ^ ": recover is a no-op when quiescent")
+    (ops_arbitrary 32)
+    (fun ops ->
+      let (module S : SET) = set in
+      let m = Machine.create () in
+      let s = S.create () in
+      List.iter
+        (fun op ->
+          match op with
+          | Ins (k, v) -> ignore (S.insert s ~key:k ~value:v)
+          | Del k -> ignore (S.delete s k)
+          | Mem k -> ignore (S.member s k))
+        ops;
+      Machine.persist_all m;
+      let before = S.to_list s in
+      S.recover s;
+      S.check_invariants s;
+      S.to_list s = before)
+
+(* Same seed, same workload: byte-identical outcome. *)
+let determinism =
+  QCheck.Test.make ~count:20 ~name:"simulation is deterministic in its seed"
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let go () =
+        let r =
+          run_workload
+            (module Hl.Durable)
+            ~seed ~threads:3 ~ops:20 ~key_range:8 ~prefill:4
+            ~eviction:(Machine.Random_eviction 0.05) ()
+        in
+        (r.final, History.length r.history)
+      in
+      go () = go ())
+
+let workload_contract =
+  QCheck.Test.make ~count:100 ~name:"workload generator respects its mix"
+    QCheck.(pair (int_bound 100) (int_bound 1000))
+    (fun (pct, seed) ->
+      let module W = Nvt_workload.Workload in
+      let mix = W.updates ~pct in
+      let g = W.gen ~seed ~mix ~range:64 in
+      let n = 2000 in
+      let updates = ref 0 in
+      for _ = 1 to n do
+        match W.next g with
+        | W.Insert _ | W.Delete _ -> incr updates
+        | W.Lookup _ -> ()
+      done;
+      let observed = 100 * !updates / n in
+      abs (observed - pct) <= 5)
+
+let prefill_contract =
+  QCheck.Test.make ~count:50 ~name:"prefill keys are distinct and in range"
+    QCheck.(map (fun n -> 2 + (2 * n)) (int_bound 2000))
+    (fun range ->
+      let module W = Nvt_workload.Workload in
+      let ks = W.prefill_keys ~range in
+      List.length ks = range / 2
+      && List.length (List.sort_uniq compare ks) = range / 2
+      && List.for_all (fun k -> 0 <= k && k < range) ks)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [ model_prop "harris list (nvt) = model" (module Hl.Durable : SET);
+      model_prop "harris list (izr) = model" (module Hl.Izraelevitz : SET);
+      model_prop "ellen bst (nvt) = model" (module Eb.Durable : SET);
+      model_prop "natarajan bst (nvt) = model" (module Nm.Durable : SET);
+      model_prop "skiplist (nvt) = model" (module Sl.Durable : SET);
+      model_prop "hash table (nvt) = model" (module Ht.Durable : SET);
+      model_prop "onefile set = model"
+        (module Nvt_baselines.Onefile.Set (Sim_mem) : SET);
+      queue_model;
+      stack_model;
+      pqueue_model;
+      recover_noop "harris list" (module Hl.Durable : SET);
+      recover_noop "ellen bst" (module Eb.Durable : SET);
+      recover_noop "natarajan bst" (module Nm.Durable : SET);
+      recover_noop "skiplist" (module Sl.Durable : SET);
+      checker_accepts_sequential;
+      checker_rejects_corruption;
+      determinism;
+      workload_contract;
+      prefill_contract ]

@@ -1,0 +1,189 @@
+(* MS-queue in traversal form: sequential model, concurrent multiset and
+   FIFO checks, and crash durability of completed enqueues. *)
+
+open Support
+module Q = Nvt_structures.Ms_queue.Make (Sim_mem) (P.Durable)
+module Qv = Nvt_structures.Ms_queue.Make (Sim_mem) (P.Volatile)
+
+let sequential_model () =
+  let _m = Machine.create () in
+  let q = Q.create () in
+  let model = Queue.create () in
+  let rng = Random.State.make [| 42 |] in
+  for i = 0 to 2000 do
+    if Random.State.bool rng then begin
+      Q.enqueue q i;
+      Queue.add i model
+    end
+    else begin
+      let expected = Queue.take_opt model in
+      let got = Q.dequeue q in
+      Alcotest.(check (option int))
+        (Printf.sprintf "dequeue %d" i)
+        expected got
+    end;
+    if i mod 100 = 0 then Q.check_invariants q
+  done;
+  Alcotest.(check (list int))
+    "final contents"
+    (List.of_seq (Queue.to_seq model))
+    (Q.to_list q)
+
+type deq_event = { value : int; d_invoke : int; d_response : int }
+
+(* Concurrent producers/consumers: every dequeued value was enqueued
+   exactly once; completed enqueues are dequeued or still present; and
+   per-producer FIFO order holds (if a producer enqueued a before b,
+   b's dequeue may not complete before a's begins). *)
+let concurrent ~crash () =
+  for seed = 0 to 9 do
+    let m = Machine.create ~seed () in
+    let q = Q.create () in
+    Machine.persist_all m;
+    let enqueued : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+    let enq_done : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+    let deqs : deq_event list ref = ref [] in
+    (* dequeues begun but not recorded; a crash can strand these after
+       they durably claimed a value *)
+    let in_flight = ref 0 in
+    let stranded = ref 0 in
+    let producers = 2 and consumers = 2 and per_thread = 30 in
+    let spawn_era era =
+      for p = 0 to producers - 1 do
+        ignore
+          (Machine.spawn m (fun () ->
+               for i = 0 to per_thread - 1 do
+                 let v = (era * 1_000_000) + (p * 10_000) + i in
+                 Hashtbl.replace enqueued v ();
+                 Q.enqueue q v;
+                 Hashtbl.replace enq_done v ()
+               done))
+      done;
+      for _ = 0 to consumers - 1 do
+        ignore
+          (Machine.spawn m (fun () ->
+               for _ = 0 to per_thread - 1 do
+                 let d_invoke = Machine.now m in
+                 incr in_flight;
+                 (match Q.dequeue q with
+                 | Some v ->
+                   deqs :=
+                     { value = v; d_invoke; d_response = Machine.now m }
+                     :: !deqs
+                 | None -> ());
+                 decr in_flight
+               done))
+      done
+    in
+    spawn_era 0;
+    if crash then Machine.set_crash_at_step m (300 + (97 * seed));
+    (match Machine.run m with
+    | Machine.Completed -> ()
+    | Machine.Crashed_at _ ->
+      stranded := !in_flight;
+      in_flight := 0;
+      Q.recover q;
+      Q.check_invariants q;
+      spawn_era 1;
+      (match Machine.run m with
+      | Machine.Completed -> ()
+      | Machine.Crashed_at _ -> assert false));
+    Q.check_invariants q;
+    let remaining = Q.to_list q in
+    (* no duplicates *)
+    let seen = Hashtbl.create 64 in
+    List.iter
+      (fun (d : deq_event) ->
+        if Hashtbl.mem seen d.value then
+          Alcotest.failf "value %d dequeued twice (seed %d)" d.value seed;
+        Hashtbl.replace seen d.value ())
+      !deqs;
+    List.iter
+      (fun v ->
+        if Hashtbl.mem seen v then
+          Alcotest.failf "value %d dequeued and still present (seed %d)" v
+            seed;
+        Hashtbl.replace seen v ())
+      remaining;
+    (* every dequeued/present value was enqueued *)
+    Hashtbl.iter
+      (fun v () ->
+        if not (Hashtbl.mem enqueued v) then
+          Alcotest.failf "value %d appeared but was never enqueued (seed %d)"
+            v seed)
+      seen;
+    (* no completed enqueue lost, except values claimed by a dequeue
+       that was in flight when the machine crashed *)
+    let missing = ref 0 in
+    Hashtbl.iter
+      (fun v () -> if not (Hashtbl.mem seen v) then incr missing)
+      enq_done;
+    if !missing > !stranded then
+      Alcotest.failf
+        "%d completed enqueues lost but only %d dequeues were in flight at \
+         the crash (seed %d)"
+        !missing !stranded seed;
+    (* per-producer FIFO: for a < b from the same producer and era, b may
+       not be dequeued strictly before a's dequeue begins *)
+    let by_value = Hashtbl.create 64 in
+    List.iter (fun d -> Hashtbl.replace by_value d.value d) !deqs;
+    Hashtbl.iter
+      (fun v (d : deq_event) ->
+        let prev = v - 1 in
+        if v mod 10_000 <> 0 && Hashtbl.mem enqueued prev then
+          match Hashtbl.find_opt by_value prev with
+          | Some da ->
+            if d.d_response < da.d_invoke then
+              Alcotest.failf "FIFO violation: %d dequeued before %d (seed %d)"
+                v prev seed
+          | None ->
+            (* prev must still be queued, or claimed by a stranded
+               dequeue at the crash *)
+            if
+              Hashtbl.mem enq_done prev
+              && (not (List.mem prev remaining))
+              && !stranded = 0
+            then
+              Alcotest.failf
+                "FIFO violation: %d dequeued but completed %d missing \
+                 (seed %d)"
+                v prev seed)
+      by_value
+  done
+
+(* The volatile queue must lose completed enqueues across a crash. *)
+let volatile_loses_enqueues () =
+  let lost = ref 0 in
+  for seed = 0 to 9 do
+    let m = Machine.create ~seed () in
+    let q = Qv.create () in
+    Machine.persist_all m;
+    let enq_done = Hashtbl.create 64 in
+    ignore
+      (Machine.spawn m (fun () ->
+           for i = 0 to 50 do
+             Qv.enqueue q i;
+             Hashtbl.replace enq_done i ()
+           done));
+    Machine.set_crash_at_step m 150;
+    (match Machine.run m with
+    | Machine.Crashed_at _ -> (
+      match Qv.recover q with
+      | () ->
+        let remaining = Qv.to_list q in
+        Hashtbl.iter
+          (fun v () -> if not (List.mem v remaining) then incr lost)
+          enq_done
+      | exception Machine.Corrupt_read _ -> incr lost)
+    | Machine.Completed -> ())
+  done;
+  if !lost = 0 then
+    Alcotest.fail "volatile queue never lost a completed enqueue"
+
+let suite =
+  [ Alcotest.test_case "sequential model" `Quick sequential_model;
+    Alcotest.test_case "concurrent multiset+FIFO" `Quick
+      (concurrent ~crash:false);
+    Alcotest.test_case "crash durability" `Quick (concurrent ~crash:true);
+    Alcotest.test_case "volatile loses enqueues" `Quick
+      volatile_loses_enqueues ]

@@ -1,0 +1,172 @@
+(* Recovery robustness: the recovery procedure itself can be interrupted
+   by another power failure, and systems crash more than once. Recovery
+   must therefore be restartable (a second recovery after a crash
+   mid-recovery yields a correct structure) and durability must hold
+   across sequences of crashes. *)
+
+open Support
+
+(* Crash in the middle of [recover], then recover again. *)
+let crash_during_recovery name (module S : SET) () =
+  for seed = 0 to 9 do
+    let m =
+      Machine.create ~seed ~eviction:(Machine.Random_eviction 0.05) ()
+    in
+    let s = S.create () in
+    let prefilled =
+      List.filter (fun k -> S.insert s ~key:k ~value:k) [ 1; 2; 4; 5; 7 ]
+    in
+    Machine.persist_all m;
+    let h = History.create () in
+    (* era 0: update traffic, crashed mid-flight *)
+    for tid = 0 to 3 do
+      let rng = Random.State.make [| seed; tid; 3 |] in
+      ignore
+        (Machine.spawn m (fun () ->
+             for _ = 1 to 25 do
+               let k = Random.State.int rng 8 in
+               let record op f =
+                 let e =
+                   History.invoke h ~tid:(Machine.current_tid m)
+                     ~time:(Machine.now m) op
+                 in
+                 let r = f () in
+                 History.respond e ~time:(Machine.now m) r
+               in
+               match Random.State.int rng 3 with
+               | 0 ->
+                 record (History.Insert k) (fun () ->
+                     S.insert s ~key:k ~value:k)
+               | 1 -> record (History.Delete k) (fun () -> S.delete s k)
+               | _ -> record (History.Member k) (fun () -> S.member s k)
+             done))
+    done;
+    Machine.set_crash_at_step m (150 + (41 * seed));
+    (match Machine.run m with
+    | Machine.Crashed_at t -> History.mark_crash h ~time:t
+    | Machine.Completed -> Alcotest.fail "expected a crash");
+    (* recovery itself runs as a thread and is crashed partway... *)
+    ignore (Machine.spawn m (fun () -> S.recover s));
+    Machine.set_crash_at_step m (Machine.steps m + 5 + (7 * seed));
+    (match Machine.run m with
+    | Machine.Crashed_at t -> History.mark_crash h ~time:t
+    | Machine.Completed ->
+      (* recovery was short enough to finish; that is fine too *)
+      ());
+    (* ...and run to completion the second time *)
+    Machine.clear_crash m;
+    S.recover s;
+    S.check_invariants s;
+    (* era: the structure must be fully functional *)
+    for tid = 0 to 1 do
+      let rng = Random.State.make [| seed; tid; 4 |] in
+      ignore
+        (Machine.spawn m (fun () ->
+             for _ = 1 to 15 do
+               let k = Random.State.int rng 8 in
+               let record op f =
+                 let e =
+                   History.invoke h ~tid:(Machine.current_tid m)
+                     ~time:(Machine.now m) op
+                 in
+                 let r = f () in
+                 History.respond e ~time:(Machine.now m) r
+               in
+               match Random.State.int rng 3 with
+               | 0 ->
+                 record (History.Insert k) (fun () ->
+                     S.insert s ~key:k ~value:k)
+               | 1 -> record (History.Delete k) (fun () -> S.delete s k)
+               | _ -> record (History.Member k) (fun () -> S.member s k)
+             done))
+    done;
+    (match Machine.run m with
+    | Machine.Completed -> ()
+    | Machine.Crashed_at _ -> assert false);
+    S.check_invariants s;
+    (match Lin.check_set ~initial_keys:prefilled h with
+    | Ok () -> ()
+    | Error v ->
+      Alcotest.failf "%s seed %d: %a" name seed Lin.pp_violation v)
+  done
+
+(* Several crash/recover/run cycles in sequence. *)
+let multi_crash name (module S : SET) () =
+  for seed = 0 to 4 do
+    let m =
+      Machine.create ~seed ~eviction:(Machine.Random_eviction 0.03) ()
+    in
+    let s = S.create () in
+    let prefilled =
+      List.filter (fun k -> S.insert s ~key:k ~value:k) [ 1; 4; 6 ]
+    in
+    Machine.persist_all m;
+    let h = History.create () in
+    let spawn_era () =
+      for tid = 0 to 2 do
+        let rng = Random.State.make [| seed; tid; History.era h |] in
+        ignore
+          (Machine.spawn m (fun () ->
+               for _ = 1 to 20 do
+                 let k = Random.State.int rng 8 in
+                 let record op f =
+                   let e =
+                     History.invoke h ~tid:(Machine.current_tid m)
+                       ~time:(Machine.now m) op
+                   in
+                   let r = f () in
+                   History.respond e ~time:(Machine.now m) r
+                 in
+                 match Random.State.int rng 3 with
+                 | 0 ->
+                   record (History.Insert k) (fun () ->
+                       S.insert s ~key:k ~value:k)
+                 | 1 -> record (History.Delete k) (fun () -> S.delete s k)
+                 | _ -> record (History.Member k) (fun () -> S.member s k)
+               done))
+      done
+    in
+    let rec eras n =
+      spawn_era ();
+      if n > 0 then begin
+        Machine.set_crash_at_step m (Machine.steps m + 80 + (31 * n));
+        match Machine.run m with
+        | Machine.Crashed_at t ->
+          History.mark_crash h ~time:t;
+          S.recover s;
+          S.check_invariants s;
+          eras (n - 1)
+        | Machine.Completed ->
+          (* the era drained before its crash point; just continue *)
+          eras (n - 1)
+      end
+      else
+        match Machine.run m with
+        | Machine.Completed -> ()
+        | Machine.Crashed_at _ -> assert false
+    in
+    eras 3;
+    S.check_invariants s;
+    (match Lin.check_set ~initial_keys:prefilled h with
+    | Ok () -> ()
+    | Error v ->
+      Alcotest.failf "%s seed %d: %a" name seed Lin.pp_violation v)
+  done
+
+let suite =
+  [ Alcotest.test_case "crash during recovery: list" `Quick
+      (crash_during_recovery "list" (module Hl.Durable));
+    Alcotest.test_case "crash during recovery: ellen bst" `Quick
+      (crash_during_recovery "ellen" (module Eb.Durable));
+    Alcotest.test_case "crash during recovery: natarajan bst" `Quick
+      (crash_during_recovery "natarajan" (module Nm.Durable));
+    Alcotest.test_case "crash during recovery: skiplist" `Quick
+      (crash_during_recovery "skiplist" (module Sl.Durable));
+    Alcotest.test_case "crash during recovery: hash table" `Quick
+      (crash_during_recovery "hash" (module Ht.Durable));
+    Alcotest.test_case "multiple crash eras: list" `Quick
+      (multi_crash "list" (module Hl.Durable));
+    Alcotest.test_case "multiple crash eras: skiplist" `Quick
+      (multi_crash "skiplist" (module Sl.Durable));
+    Alcotest.test_case "multiple crash eras: natarajan bst" `Quick
+      (multi_crash "natarajan" (module Nm.Durable)) ]

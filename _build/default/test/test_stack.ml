@@ -1,0 +1,130 @@
+(* Treiber stack: sequential model, concurrent multiset checks, crash
+   durability of completed pushes. *)
+
+open Support
+module S = Nvt_structures.Treiber_stack.Make (Sim_mem) (P.Durable)
+module Sv = Nvt_structures.Treiber_stack.Make (Sim_mem) (P.Volatile)
+
+let sequential_model () =
+  let _m = Machine.create () in
+  let s = S.create () in
+  let model = ref [] in
+  let rng = Random.State.make [| 7 |] in
+  for i = 0 to 2000 do
+    if Random.State.bool rng then begin
+      S.push s i;
+      model := i :: !model
+    end
+    else begin
+      let expected =
+        match !model with
+        | [] -> None
+        | x :: rest ->
+          model := rest;
+          Some x
+      in
+      Alcotest.(check (option int))
+        (Printf.sprintf "pop %d" i)
+        expected (S.pop s)
+    end
+  done;
+  Alcotest.(check (list int)) "final" !model (S.to_list s)
+
+let concurrent ~crash () =
+  for seed = 0 to 9 do
+    let m = Machine.create ~seed () in
+    let s = S.create () in
+    Machine.persist_all m;
+    let pushed = Hashtbl.create 64 and push_done = Hashtbl.create 64 in
+    let popped = ref [] in
+    let in_flight = ref 0 in
+    let stranded = ref 0 in
+    let spawn_era era =
+      for p = 0 to 1 do
+        ignore
+          (Machine.spawn m (fun () ->
+               for i = 0 to 29 do
+                 let v = (era * 1_000_000) + (p * 10_000) + i in
+                 Hashtbl.replace pushed v ();
+                 S.push s v;
+                 Hashtbl.replace push_done v ()
+               done))
+      done;
+      for _ = 0 to 1 do
+        ignore
+          (Machine.spawn m (fun () ->
+               for _ = 0 to 29 do
+                 incr in_flight;
+                 (match S.pop s with
+                 | Some v -> popped := v :: !popped
+                 | None -> ());
+                 decr in_flight
+               done))
+      done
+    in
+    spawn_era 0;
+    if crash then Machine.set_crash_at_step m (250 + (89 * seed));
+    (match Machine.run m with
+    | Machine.Completed -> ()
+    | Machine.Crashed_at _ ->
+      stranded := !in_flight;
+      in_flight := 0;
+      S.recover s;
+      spawn_era 1;
+      (match Machine.run m with
+      | Machine.Completed -> ()
+      | Machine.Crashed_at _ -> assert false));
+    let remaining = S.to_list s in
+    let seen = Hashtbl.create 64 in
+    let record where v =
+      if Hashtbl.mem seen v then
+        Alcotest.failf "value %d duplicated (%s, seed %d)" v where seed;
+      if not (Hashtbl.mem pushed v) then
+        Alcotest.failf "value %d never pushed (%s, seed %d)" v where seed;
+      Hashtbl.replace seen v ()
+    in
+    List.iter (record "popped") !popped;
+    List.iter (record "remaining") remaining;
+    (* a pop in flight at the crash may have durably claimed a value *)
+    let missing = ref 0 in
+    Hashtbl.iter
+      (fun v () -> if not (Hashtbl.mem seen v) then incr missing)
+      push_done;
+    if !missing > !stranded then
+      Alcotest.failf
+        "%d completed pushes lost but only %d pops were in flight at the \
+         crash (seed %d)"
+        !missing !stranded seed
+  done
+
+let volatile_loses_pushes () =
+  let lost = ref 0 in
+  for seed = 0 to 9 do
+    let m = Machine.create ~seed () in
+    let s = Sv.create () in
+    Machine.persist_all m;
+    let push_done = Hashtbl.create 64 in
+    ignore
+      (Machine.spawn m (fun () ->
+           for i = 0 to 50 do
+             Sv.push s i;
+             Hashtbl.replace push_done i ()
+           done));
+    Machine.set_crash_at_step m 100;
+    (match Machine.run m with
+    | Machine.Crashed_at _ -> (
+      match Sv.to_list s with
+      | remaining ->
+        Hashtbl.iter
+          (fun v () -> if not (List.mem v remaining) then incr lost)
+          push_done
+      | exception Machine.Corrupt_read _ -> incr lost)
+    | Machine.Completed -> ())
+  done;
+  if !lost = 0 then Alcotest.fail "volatile stack never lost a push"
+
+let suite =
+  [ Alcotest.test_case "sequential model" `Quick sequential_model;
+    Alcotest.test_case "concurrent multiset" `Quick (concurrent ~crash:false);
+    Alcotest.test_case "crash durability" `Quick (concurrent ~crash:true);
+    Alcotest.test_case "volatile loses pushes" `Quick volatile_loses_pushes ]
