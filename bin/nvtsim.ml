@@ -3,11 +3,14 @@
    Runs a seeded workload on a chosen structure and persistence policy
    over the simulated NVRAM machine, with optional crash injection, then
    reports throughput, instruction mix, and the durable-linearizability
-   verdict. Examples:
+   verdict. The structure/policy matrix is the registry in
+   [Nvt_harness.Instances] (plus the OneFile PTM set, which brings its
+   own persistence). Examples:
 
      nvtsim --structure list --policy volatile --crash 300
      nvtsim --structure bst-nm --threads 8 --updates 50 --crash 200 --crash 400
-     nvtsim --structure skiplist --eviction 0.05 --seed 7 *)
+     nvtsim --structure skiplist --eviction 0.05 --seed 7
+     nvtsim --structure hash --policy all --crash 250 *)
 
 open Cmdliner
 module H = Nvt_harness
@@ -16,47 +19,34 @@ module I = Nvt_harness.Instances
 module type SET = Nvt_core.Set_intf.SET
 
 let structures : (string * (string * (module SET)) list) list =
-  [ ("list",
-     [ ("nvt", (module I.Hl.Durable));
-       ("volatile", (module I.Hl.Volatile));
-       ("izraelevitz", (module I.Hl.Izraelevitz));
-       ("lp", (module I.Hl.Link_persist)) ]);
-    ("hash",
-     [ ("nvt", (module I.Ht.Durable));
-       ("volatile", (module I.Ht.Volatile));
-       ("izraelevitz", (module I.Ht.Izraelevitz));
-       ("lp", (module I.Ht.Link_persist)) ]);
-    ("bst-ellen",
-     [ ("nvt", (module I.Eb.Durable));
-       ("volatile", (module I.Eb.Volatile));
-       ("izraelevitz", (module I.Eb.Izraelevitz));
-       ("lp", (module I.Eb.Link_persist)) ]);
-    ("bst-nm",
-     [ ("nvt", (module I.Nm.Durable));
-       ("volatile", (module I.Nm.Volatile));
-       ("izraelevitz", (module I.Nm.Izraelevitz));
-       ("lp", (module I.Nm.Link_persist)) ]);
-    ("skiplist",
-     [ ("nvt", (module I.Sl.Durable));
-       ("volatile", (module I.Sl.Volatile));
-       ("izraelevitz", (module I.Sl.Izraelevitz));
-       ("lp", (module I.Sl.Link_persist)) ]);
-    ("onefile", [ ("nvt", (module I.Onefile_set)) ]) ]
+  I.table () @ [ ("onefile", [ ("nvt", (module I.Onefile_set)) ]) ]
 
 let structure =
   let names = List.map fst structures in
   Arg.(
     value
     & opt (enum (List.map (fun n -> (n, n)) names)) "list"
-    & info [ "structure"; "s" ] ~doc:"Structure: list, hash, bst-ellen, \
-                                      bst-nm, skiplist, onefile.")
+    & info [ "structure"; "s" ]
+        ~doc:(Printf.sprintf "Structure: %s." (String.concat ", " names)))
+
+let policy_doc =
+  String.concat "; "
+    (List.map
+       (fun (f : I.flavour) ->
+         let (module Pol : I.POLICY) = f.policy in
+         Printf.sprintf "$(b,%s) (%s)" f.key Pol.summary)
+       I.flavours)
 
 let policy =
   Arg.(
     value
     & opt string "nvt"
     & info [ "policy"; "p" ]
-        ~doc:"Persistence policy: nvt, volatile, izraelevitz, lp.")
+        ~doc:
+          (Printf.sprintf
+             "Persistence policy: %s; or $(b,all) to run every policy the \
+              structure supports."
+             policy_doc))
 
 let threads = Arg.(value & opt int 4 & info [ "threads"; "t" ] ~doc:"Threads.")
 let ops = Arg.(value & opt int 100 & info [ "ops" ] ~doc:"Ops per thread.")
@@ -86,53 +76,80 @@ let crashes =
 let dram =
   Arg.(value & flag & info [ "dram" ] ~doc:"Use the DRAM cost profile.")
 
+let report s_name p_name (r : H.Crashlab.report) =
+  Printf.printf "structure:  %s (%s)\n" s_name p_name;
+  Printf.printf "operations: %d across %d era(s)\n" r.history_length r.eras;
+  Printf.printf "final size: %d keys\n" r.final_size;
+  Printf.printf "makespan:   %d simulated ns (%.3f Mops/s)\n" r.makespan
+    (1e3 *. float_of_int r.history_length /. float_of_int r.makespan);
+  Printf.printf "instructions: %s\n"
+    (Format.asprintf "%a" Nvt_nvm.Stats.pp r.stats);
+  match r.linearizable with
+  | Ok () ->
+    print_endline "verdict:    durably linearizable";
+    true
+  | Error v ->
+    Format.printf "verdict:    VIOLATION@.%a@."
+      Nvt_sim.Linearizability.pp_violation v;
+    false
+
 let run s_name p_name threads ops range seed updates eviction stall crashes
     dram =
   let variants = List.assoc s_name structures in
-  match List.assoc_opt p_name variants with
-  | None ->
-    Printf.eprintf "no policy %s for %s (available: %s)\n" p_name s_name
-      (String.concat ", " (List.map fst variants));
-    exit 2
-  | Some set ->
-    let c =
-      { H.Crashlab.seed;
-        threads;
-        ops_per_thread = ops;
-        key_range = range;
-        mix = Nvt_workload.Workload.updates ~pct:updates;
-        cost =
-          (if dram then Nvt_nvm.Cost_model.dram else Nvt_nvm.Cost_model.nvram);
-        eviction =
-          (if eviction > 0.0 then Nvt_sim.Machine.Random_eviction eviction
-           else Nvt_sim.Machine.No_eviction);
-        stall =
-          (if stall > 0.0 then
-             Some { Nvt_sim.Machine.probability = stall; max_units = 20_000 }
-           else None);
-        crash_steps = crashes }
-    in
-    (match H.Crashlab.run set c with
-    | r ->
-      Printf.printf "structure:  %s (%s)\n" s_name p_name;
-      Printf.printf "operations: %d across %d era(s)\n" r.history_length
-        r.eras;
-      Printf.printf "final size: %d keys\n" r.final_size;
-      Printf.printf "makespan:   %d simulated ns (%.3f Mops/s)\n" r.makespan
-        (1e3 *. float_of_int r.history_length /. float_of_int r.makespan);
-      Printf.printf "instructions: %s\n"
-        (Format.asprintf "%a" Nvt_nvm.Stats.pp r.stats);
-      (match r.linearizable with
-      | Ok () -> print_endline "verdict:    durably linearizable"
-      | Error v ->
-        Format.printf "verdict:    VIOLATION@.%a@." Nvt_sim.Linearizability.pp_violation v;
-        exit 1)
-    | exception Nvt_sim.Machine.Corrupt_read cid ->
-      Printf.printf
-        "verdict:    CORRUPT MEMORY (cell %d read after crash without a \
-         persistent value)\n"
-        cid;
-      exit 1)
+  let chosen =
+    if p_name = "all" then
+      (* under crash injection, skip policies that do not claim
+         durability — losing data there is the expected outcome *)
+      List.filter
+        (fun (k, _) ->
+          crashes = []
+          ||
+          match I.flavour k with
+          | Some f ->
+            let (module Pol : I.POLICY) = f.policy in
+            Pol.durable
+          | None -> true)
+        variants
+    else
+      match List.assoc_opt p_name variants with
+      | Some set -> [ (p_name, set) ]
+      | None ->
+        Printf.eprintf "no policy %s for %s (available: %s)\n" p_name s_name
+          (String.concat ", " (List.map fst variants @ [ "all" ]));
+        exit 2
+  in
+  let c =
+    { H.Crashlab.seed;
+      threads;
+      ops_per_thread = ops;
+      key_range = range;
+      mix = Nvt_workload.Workload.updates ~pct:updates;
+      cost =
+        (if dram then Nvt_nvm.Cost_model.dram else Nvt_nvm.Cost_model.nvram);
+      eviction =
+        (if eviction > 0.0 then Nvt_sim.Machine.Random_eviction eviction
+         else Nvt_sim.Machine.No_eviction);
+      stall =
+        (if stall > 0.0 then
+           Some { Nvt_sim.Machine.probability = stall; max_units = 20_000 }
+         else None);
+      crash_steps = crashes }
+  in
+  let verdicts =
+    List.map
+      (fun (p_name, set) ->
+        match H.Crashlab.run set c with
+        | r -> report s_name p_name r
+        | exception Nvt_sim.Machine.Corrupt_read cid ->
+          Printf.printf
+            "structure:  %s (%s)\n\
+             verdict:    CORRUPT MEMORY (cell %d read after crash without \
+             a persistent value)\n"
+            s_name p_name cid;
+          false)
+      chosen
+  in
+  if List.exists not verdicts then exit 1
 
 let () =
   let term =

@@ -12,23 +12,18 @@
 module Machine = Nvt_sim.Machine
 module History = Nvt_sim.History
 module Lin = Nvt_sim.Linearizability
-module Mem = Nvt_sim.Memory
-module Nvm = Nvt_nvm
-module P = Nvm.Persist.Make (Mem)
-module Izr = Nvm.Izraelevitz.Make (Mem)
-module P_izr = Nvm.Persist.Make (Izr)
-module Lp = Nvm.Link_and_persist.Make (Mem)
-module P_lp = Nvm.Persist.Make (Lp)
+module I = Nvt_harness.Instances
 
 module type SET = Nvt_core.Set_intf.SET
 
-module L = Nvt_structures.Harris_list
-
+(* Every policy in the registry, instantiated for the Harris list; a new
+   entry in [Instances.flavours] shows up here with no further work. *)
 let policies : (string * (module SET)) list =
-  [ ("volatile (original)", (module L.Make (Mem) (P.Volatile)));
-    ("nvtraverse", (module L.Make (Mem) (P.Durable)));
-    ("izraelevitz", (module L.Make (Izr) (P_izr.Volatile)));
-    ("link-and-persist", (module L.Make (Lp) (P_lp.Durable))) ]
+  List.map
+    (fun (f : I.flavour) ->
+      let (module Pol : I.POLICY) = f.policy in
+      (Pol.name, I.instantiate (module Nvt_structures.Harris_list) f.policy))
+    I.flavours
 
 let crashes = 25
 let threads = 4

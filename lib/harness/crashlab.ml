@@ -112,3 +112,22 @@ let run (module S : SET) (c : config) =
     makespan = Machine.makespan m;
     stats = Machine.stats m;
     linearizable = Lin.check_set ~initial_keys:prefilled h }
+
+(* Registry-driven runs: the same config under every policy of
+   [Instances.flavours] for one structure. Configs that crash restrict
+   to durable policies by default — the volatile flavour legitimately
+   loses data at a crash. *)
+let run_policies ?(durable_only = true) (module Str : Instances.STRUCTURE)
+    (c : config) =
+  let fls =
+    if durable_only then Instances.durable_flavours else Instances.flavours
+  in
+  List.map
+    (fun (f : Instances.flavour) ->
+      (f.key, run (Instances.instantiate (module Str) f.policy) c))
+    fls
+
+let run_structure ?durable_only name (c : config) =
+  match List.assoc_opt name Instances.structures with
+  | None -> invalid_arg (Printf.sprintf "crashlab: unknown structure %S" name)
+  | Some str -> run_policies ?durable_only str c

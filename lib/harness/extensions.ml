@@ -118,48 +118,39 @@ let run_sensitivity () =
 let run_mix () =
   Printf.printf
     "\n# Extension: flushes/op and fences/op, 16 threads, 20%% updates\n";
-  Printf.printf "%-12s %18s %18s %18s %18s\n" "structure" "orig" "nvt" "izr"
-    "lp";
-  let row name range buckets (series : (string * (module SET) * float) list) =
+  Printf.printf "%-12s" "structure";
+  List.iter (fun (f : flavour) -> Printf.printf " %18s" f.label) flavours;
+  print_newline ();
+  let row name range buckets ?(izr_scale = 0.5)
+      (module Str : Instances.STRUCTURE) =
     Printf.printf "%-12s" name;
     List.iter
-      (fun (_, set, scale) ->
+      (fun (f : flavour) ->
         (match buckets with
         | Some b -> Instances.hash_buckets := b
         | None -> ());
+        let scale =
+          if f.key = "izraelevitz" then izr_scale else f.ops_scale
+        in
         let r =
-          Throughput.run set ~cost:Cost_model.nvram ~seed:2
+          Throughput.run
+            (instantiate (module Str) f.policy)
+            ~cost:Cost_model.nvram ~seed:2
             { Throughput.threads = 16; range; mix = Workload.updates ~pct:20;
               total_ops = int_of_float (4000. *. scale) }
         in
         Printf.printf " %8.1f / %7.1f" r.flushes_per_op r.fences_per_op)
-      series;
+      flavours;
     print_newline ()
   in
-  row "list" 512 None
-    [ ("orig", (module Hl.Volatile : SET), 1.0);
-      ("nvt", (module Hl.Durable : SET), 1.0);
-      ("izr", (module Hl.Izraelevitz : SET), 0.1);
-      ("lp", (module Hl.Link_persist : SET), 1.0) ];
-  row "hash" 8192 (Some 4096)
-    [ ("orig", (module Ht.Volatile : SET), 1.0);
-      ("nvt", (module Ht.Durable : SET), 1.0);
-      ("izr", (module Ht.Izraelevitz : SET), 0.5);
-      ("lp", (module Ht.Link_persist : SET), 1.0) ];
-  row "bst(nm)" 8192 None
-    [ ("orig", (module Nm.Volatile : SET), 1.0);
-      ("nvt", (module Nm.Durable : SET), 1.0);
-      ("izr", (module Nm.Izraelevitz : SET), 0.5);
-      ("lp", (module Nm.Link_persist : SET), 1.0) ];
-  row "skiplist" 8192 None
-    [ ("orig", (module Sl.Volatile : SET), 1.0);
-      ("nvt", (module Sl.Durable : SET), 1.0);
-      ("izr", (module Sl.Izraelevitz : SET), 0.5);
-      ("lp", (module Sl.Link_persist : SET), 1.0) ];
+  row "list" 512 None ~izr_scale:0.1 (module Nvt_structures.Harris_list);
+  row "hash" 8192 (Some 4096) (module Instances.Hash_sized);
+  row "bst(nm)" 8192 None (module Nvt_structures.Natarajan_bst);
+  row "skiplist" 8192 None (module Nvt_structures.Skiplist);
   Printf.printf
     "(NVTraverse's counts are constant per operation; Izraelevitz et \
      al.'s grow with the traversal; link-and-persist trades flushes for \
-     CAS)\n%!"
+     CAS; FliT pays per update plus racy reads)\n%!"
 
 let run = function
   | "recovery" -> run_recovery ()

@@ -1,51 +1,67 @@
-(* Every structure x persistence-flavour instantiation over the
-   simulator backend, packed as first-class modules for the benchmark
-   panels and examples.
+(* The single registry of persistence policies and structure
+   instantiations over the simulator backend.
+
+   Policies implement {!Nvt_nvm.Policy.S}; [flavours] is the one place
+   the policy list exists. The benchmark panels, the extension benches,
+   the crash laboratory ([Crashlab], [bin/nvtsim.exe]), the examples and
+   the crash-sweep/recovery test suites all iterate this registry, so
+   adding a policy is one entry here.
 
    Flavours:
-   - [orig]    the original volatile lock-free algorithm;
-   - [nvt]     its NVTraverse transformation (this paper);
-   - [izr]     the general transformation of Izraelevitz et al.;
-   - [lp]      NVTraverse placement over link-and-persist flushes
-               (the David-et-al-style hand-tuned baseline);
-   - [onefile] the PTM baseline (its own module, lists only). *)
+   - [volatile]    the original volatile lock-free algorithm;
+   - [nvt]         its NVTraverse transformation (this paper);
+   - [izraelevitz] the general transformation of Izraelevitz et al.;
+   - [lp]          NVTraverse placement over link-and-persist flushes
+                   (the David-et-al-style hand-tuned baseline);
+   - [flit]        the FliT per-location-counter instrumentation.
+
+   The OneFile PTM baseline is a separate *structure* (its persistence
+   is built in), not a policy; it appears alongside the registry where
+   the paper compares against it (lists only). *)
 
 module Nvm = Nvt_nvm
 module Sim_mem = Nvt_sim.Memory
-module P = Nvm.Persist.Make (Sim_mem)
-module Izr = Nvm.Izraelevitz.Make (Sim_mem)
-module P_izr = Nvm.Persist.Make (Izr)
-module Lp = Nvm.Link_and_persist.Make (Sim_mem)
-module P_lp = Nvm.Persist.Make (Lp)
 
 module type SET = Nvt_core.Set_intf.SET
+module type POLICY = Nvm.Policy.S
 
-module Hl = struct
-  module Volatile = Nvt_structures.Harris_list.Make (Sim_mem) (P.Volatile)
-  module Durable = Nvt_structures.Harris_list.Make (Sim_mem) (P.Durable)
-  module Izraelevitz = Nvt_structures.Harris_list.Make (Izr) (P_izr.Volatile)
-  module Link_persist = Nvt_structures.Harris_list.Make (Lp) (P_lp.Durable)
-end
+type policy = (module POLICY)
 
-module Eb = struct
-  module Volatile = Nvt_structures.Ellen_bst.Make (Sim_mem) (P.Volatile)
-  module Durable = Nvt_structures.Ellen_bst.Make (Sim_mem) (P.Durable)
-  module Izraelevitz = Nvt_structures.Ellen_bst.Make (Izr) (P_izr.Volatile)
-  module Link_persist = Nvt_structures.Ellen_bst.Make (Lp) (P_lp.Durable)
-end
+type flavour = {
+  key : string;  (* registry name, also the CLI spelling *)
+  label : string;  (* short series label on the panels *)
+  policy : policy;
+  ops_scale : float;
+      (* default shrink factor for the measured-operation count of very
+         slow policies (Izraelevitz): throughput is a ratio, so fewer
+         samples converge to the same estimate at a fraction of the
+         simulation cost. *)
+}
 
-module Nm = struct
-  module Volatile = Nvt_structures.Natarajan_bst.Make (Sim_mem) (P.Volatile)
-  module Durable = Nvt_structures.Natarajan_bst.Make (Sim_mem) (P.Durable)
-  module Izraelevitz = Nvt_structures.Natarajan_bst.Make (Izr) (P_izr.Volatile)
-  module Link_persist = Nvt_structures.Natarajan_bst.Make (Lp) (P_lp.Durable)
-end
+let fl ?(ops_scale = 1.0) key label policy = { key; label; policy; ops_scale }
 
-module Sl = struct
-  module Volatile = Nvt_structures.Skiplist.Make (Sim_mem) (P.Volatile)
-  module Durable = Nvt_structures.Skiplist.Make (Sim_mem) (P.Durable)
-  module Izraelevitz = Nvt_structures.Skiplist.Make (Izr) (P_izr.Volatile)
-  module Link_persist = Nvt_structures.Skiplist.Make (Lp) (P_lp.Durable)
+let flavours : flavour list =
+  [ fl "volatile" "orig" (module Nvm.Policy.Volatile);
+    fl "nvt" "nvt" (module Nvm.Policy.Nvtraverse);
+    fl ~ops_scale:0.25 "izraelevitz" "izr" (module Nvm.Izraelevitz.Policy);
+    fl "lp" "lp" (module Nvm.Link_and_persist.Policy);
+    fl "flit" "flit" (module Nvm.Flit.Policy) ]
+
+let durable_flavours =
+  List.filter
+    (fun f ->
+      let (module Pol : POLICY) = f.policy in
+      Pol.durable)
+    flavours
+
+let flavour key = List.find_opt (fun f -> f.key = key) flavours
+
+(* ------------------------------------------------------------------ *)
+(* Generic instantiation                                               *)
+(* ------------------------------------------------------------------ *)
+
+module type STRUCTURE = sig
+  module Make (M : Nvm.Memory.S) (P : Nvm.Persist.Make(M).S) : SET
 end
 
 (* Hash tables size their directory from this knob so that panels
@@ -53,29 +69,118 @@ end
    paper's low-contention hash experiments. *)
 let hash_buckets = ref 1024
 
+module Hash_sized : STRUCTURE = struct
+  module Make (M : Nvm.Memory.S) (P : Nvm.Persist.Make(M).S) = struct
+    include Nvt_structures.Hash_table.Make (M) (P)
+
+    let create () = create_sized !hash_buckets
+  end
+end
+
+(* One structure under one policy over the simulator, with the policy's
+   recovery hook spliced in front of the structure's own. *)
+let instantiate (module Str : STRUCTURE) (module Pol : POLICY) : (module SET) =
+  let module A = Pol.Apply (Sim_mem) in
+  let module S = Str.Make (A.Mem) (A.P) in
+  (module struct
+    include S
+
+    let recover t =
+      A.recover ();
+      S.recover t
+  end)
+
+let structures : (string * (module STRUCTURE)) list =
+  [ ("list", (module Nvt_structures.Harris_list));
+    ("hash", (module Hash_sized));
+    ("bst-ellen", (module Nvt_structures.Ellen_bst));
+    ("bst-nm", (module Nvt_structures.Natarajan_bst));
+    ("skiplist", (module Nvt_structures.Skiplist)) ]
+
+(* Every structure x flavour, for the crash laboratory and the CLI. *)
+let all_instances =
+  lazy
+    (List.map
+       (fun (s_key, str) ->
+         (s_key, List.map (fun f -> (f.key, instantiate str f.policy)) flavours))
+       structures)
+
+let table () = Lazy.force all_instances
+
+(* ------------------------------------------------------------------ *)
+(* Named instantiations                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Convenience modules for tests and benches that want a specific
+   instance by name rather than through the registry. *)
+
+module A_vol = Nvm.Policy.Volatile.Apply (Sim_mem)
+module A_nvt = Nvm.Policy.Nvtraverse.Apply (Sim_mem)
+module A_izr = Nvm.Izraelevitz.Policy.Apply (Sim_mem)
+module A_lp = Nvm.Link_and_persist.Policy.Apply (Sim_mem)
+module A_flit = Nvm.Flit.Policy.Apply (Sim_mem)
+
+module Hl = struct
+  module Volatile = Nvt_structures.Harris_list.Make (A_vol.Mem) (A_vol.P)
+  module Durable = Nvt_structures.Harris_list.Make (A_nvt.Mem) (A_nvt.P)
+  module Izraelevitz = Nvt_structures.Harris_list.Make (A_izr.Mem) (A_izr.P)
+  module Link_persist = Nvt_structures.Harris_list.Make (A_lp.Mem) (A_lp.P)
+  module Flit = Nvt_structures.Harris_list.Make (A_flit.Mem) (A_flit.P)
+end
+
+module Eb = struct
+  module Volatile = Nvt_structures.Ellen_bst.Make (A_vol.Mem) (A_vol.P)
+  module Durable = Nvt_structures.Ellen_bst.Make (A_nvt.Mem) (A_nvt.P)
+  module Izraelevitz = Nvt_structures.Ellen_bst.Make (A_izr.Mem) (A_izr.P)
+  module Link_persist = Nvt_structures.Ellen_bst.Make (A_lp.Mem) (A_lp.P)
+  module Flit = Nvt_structures.Ellen_bst.Make (A_flit.Mem) (A_flit.P)
+end
+
+module Nm = struct
+  module Volatile = Nvt_structures.Natarajan_bst.Make (A_vol.Mem) (A_vol.P)
+  module Durable = Nvt_structures.Natarajan_bst.Make (A_nvt.Mem) (A_nvt.P)
+  module Izraelevitz = Nvt_structures.Natarajan_bst.Make (A_izr.Mem) (A_izr.P)
+  module Link_persist = Nvt_structures.Natarajan_bst.Make (A_lp.Mem) (A_lp.P)
+  module Flit = Nvt_structures.Natarajan_bst.Make (A_flit.Mem) (A_flit.P)
+end
+
+module Sl = struct
+  module Volatile = Nvt_structures.Skiplist.Make (A_vol.Mem) (A_vol.P)
+  module Durable = Nvt_structures.Skiplist.Make (A_nvt.Mem) (A_nvt.P)
+  module Izraelevitz = Nvt_structures.Skiplist.Make (A_izr.Mem) (A_izr.P)
+  module Link_persist = Nvt_structures.Skiplist.Make (A_lp.Mem) (A_lp.P)
+  module Flit = Nvt_structures.Skiplist.Make (A_flit.Mem) (A_flit.P)
+end
+
 module Ht = struct
   module Base = Nvt_structures.Hash_table
 
   module Volatile = struct
-    include Base.Make (Sim_mem) (P.Volatile)
+    include Base.Make (A_vol.Mem) (A_vol.P)
 
     let create () = create_sized !hash_buckets
   end
 
   module Durable = struct
-    include Base.Make (Sim_mem) (P.Durable)
+    include Base.Make (A_nvt.Mem) (A_nvt.P)
 
     let create () = create_sized !hash_buckets
   end
 
   module Izraelevitz = struct
-    include Base.Make (Izr) (P_izr.Volatile)
+    include Base.Make (A_izr.Mem) (A_izr.P)
 
     let create () = create_sized !hash_buckets
   end
 
   module Link_persist = struct
-    include Base.Make (Lp) (P_lp.Durable)
+    include Base.Make (A_lp.Mem) (A_lp.P)
+
+    let create () = create_sized !hash_buckets
+  end
+
+  module Flit = struct
+    include Base.Make (A_flit.Mem) (A_flit.P)
 
     let create () = create_sized !hash_buckets
   end
@@ -83,36 +188,58 @@ end
 
 module Onefile_set = Nvt_baselines.Onefile.Set (Sim_mem)
 
+(* ------------------------------------------------------------------ *)
+(* Panel series                                                        *)
+(* ------------------------------------------------------------------ *)
+
 type series = { label : string; set : (module SET); ops_scale : float }
-(* [ops_scale] shrinks the measured-operation count for very slow
-   baselines (Izraelevitz on long lists): throughput is a ratio, so
-   fewer samples converge to the same estimate at a fraction of the
-   simulation cost. *)
 
 let s ?(ops_scale = 1.0) label set = { label; set; ops_scale }
 
+(* One series per registry flavour for a structure, in registry order;
+   [scale] overrides the default per-flavour sampling factor and [skip]
+   drops flavours a panel does not plot. *)
+let flavour_series ?(suffix = "") ?(scale = fun _ -> None)
+    ?(skip = []) (module Str : STRUCTURE) =
+  List.filter_map
+    (fun f ->
+      if List.mem f.key skip then None
+      else
+        Some
+          { label = f.label ^ suffix;
+            set = instantiate (module Str) f.policy;
+            ops_scale = Option.value (scale f.key) ~default:f.ops_scale })
+    flavours
+
+let izr_scale v k = if k = "izraelevitz" then Some v else None
+
 let list_series ~with_onefile ~with_lp =
-  [ s "orig" (module Hl.Volatile : SET);
-    s "nvt" (module Hl.Durable : SET);
-    s ~ops_scale:0.1 "izr" (module Hl.Izraelevitz : SET) ]
-  @ (if with_lp then [ s "lp" (module Hl.Link_persist : SET) ] else [])
+  flavour_series
+    (module Nvt_structures.Harris_list)
+    ~scale:(izr_scale 0.1)
+    ~skip:(if with_lp then [] else [ "lp" ])
   @
   if with_onefile then
     [ s ~ops_scale:0.25 "onefile" (module Onefile_set : SET) ]
   else []
 
 let hash_series ~with_lp =
-  [ s "orig" (module Ht.Volatile : SET);
-    s "nvt" (module Ht.Durable : SET);
-    s ~ops_scale:0.25 "izr" (module Ht.Izraelevitz : SET) ]
-  @ if with_lp then [ s "lp" (module Ht.Link_persist : SET) ] else []
+  flavour_series
+    (module Hash_sized)
+    ~skip:(if with_lp then [] else [ "lp" ])
 
 let bst_series ~with_onefile ~with_lp =
-  [ s "orig(nm)" (module Nm.Volatile : SET);
-    s "nvt(ellen)" (module Eb.Durable : SET);
-    s "nvt(nm)" (module Nm.Durable : SET);
-    s ~ops_scale:0.25 "izr(nm)" (module Nm.Izraelevitz : SET) ]
-  @ (if with_lp then [ s "lp(nm)" (module Nm.Link_persist : SET) ] else [])
+  (match
+     flavour_series
+       (module Nvt_structures.Natarajan_bst)
+       ~suffix:"(nm)"
+       ~skip:(if with_lp then [] else [ "lp" ])
+   with
+  | orig :: rest ->
+    (* the second NVTraverse BST of Fig 5e/6m, slotted after the
+       volatile baseline *)
+    orig :: s "nvt(ellen)" (module Eb.Durable : SET) :: rest
+  | [] -> [])
   @
   (* the PTM set is a sorted list, so on tree-sized key ranges each of
      its operations costs O(n); a small sample suffices for the ratio *)
@@ -121,7 +248,6 @@ let bst_series ~with_onefile ~with_lp =
   else []
 
 let skiplist_series ~with_lp =
-  [ s "orig" (module Sl.Volatile : SET);
-    s "nvt" (module Sl.Durable : SET);
-    s ~ops_scale:0.25 "izr" (module Sl.Izraelevitz : SET) ]
-  @ if with_lp then [ s "lp" (module Sl.Link_persist : SET) ] else []
+  flavour_series
+    (module Nvt_structures.Skiplist)
+    ~skip:(if with_lp then [] else [ "lp" ])

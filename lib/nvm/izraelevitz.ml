@@ -6,39 +6,44 @@
 
    The transformation persists a value before any instruction that depends
    on it can execute: loads flush-and-fence the location read, and stores
-   and CAS are flushed and fenced immediately after taking effect. *)
+   and CAS are flushed and fenced immediately after taking effect. A
+   node's initializing stores are stores like any other under the
+   transformation, so a fresh location is persisted immediately. *)
 
-module Make (M : Memory.S) : Memory.S with type 'a loc = 'a M.loc = struct
-  type 'a loc = 'a M.loc
+module Make (M : Memory.S) : Memory.S with type 'a loc = 'a M.loc =
+  Policy.Instrument
+    (M)
+    (struct
+      let persist l =
+        M.flush l;
+        M.fence ()
 
-  type any = Any : 'a loc -> any
+      let after_alloc = persist
+      let after_read = persist
+      let before_update () = ()
+      let after_update = persist
+      let flush = M.flush
+      let fence = M.fence
+    end)
 
-  (* A node's initializing stores are stores like any other under the
-     transformation, so a fresh location is persisted immediately. *)
-  let alloc v =
-    let l = M.alloc v in
-    M.flush l;
-    M.fence ();
-    l
+module Policy : Policy.S = struct
+  let name = "izraelevitz"
 
-  let read l =
-    let v = M.read l in
-    M.flush l;
-    M.fence ();
-    v
+  let summary =
+    "Izraelevitz et al.'s general transformation: persist everything, \
+     everywhere"
 
-  let write l v =
-    M.write l v;
-    M.flush l;
-    M.fence ()
+  let durable = true
 
-  let cas l ~expected ~desired =
-    let ok = M.cas l ~expected ~desired in
-    M.flush l;
-    M.fence ();
-    ok
+  let discipline =
+    "flush + fence after every shared load, store, CAS and allocation; \
+     nothing is left for the engine to inject"
 
-  let flush = M.flush
-  let fence = M.fence
-  let flush_any (Any l) = flush l
+  module Apply (M : Memory.S) = struct
+    module Mem = Make (M)
+    module Persist_m = Persist.Make (Mem)
+    module P = Persist_m.Volatile
+
+    let recover () = ()
+  end
 end

@@ -1,10 +1,11 @@
 (* Link-and-persist (David et al., ATC 2018; Wang et al., ICDE 2018): a
    durability-bit optimization that avoids flushing clean cache lines.
 
-   Every stored value carries a [clean] tag. [flush] on a clean location
-   is free; on a dirty one it pays the real flush, a fence, and an extra
-   CAS to set the tag so that later flushes of the unchanged word can be
-   skipped. Writes and CAS dirty the word again.
+   Every stored value carries a clean tag ([Policy.tagged] with a bool).
+   [flush] on a clean location is free; on a dirty one it pays the real
+   flush, a fence, and an extra CAS to set the tag so that later flushes
+   of the unchanged word can be skipped. Writes and CAS dirty the word
+   again.
 
    This reproduces the tradeoff the paper's DRAM experiments explore: the
    tag saves flushes when many threads persist the same word (high
@@ -17,40 +18,51 @@
    is the same provably sufficient set, while the flush *mechanism* is
    their tagged-word scheme. *)
 
-type 'a tagged = { v : 'a; clean : bool }
+open Policy
 
-module Make (M : Memory.S) : Memory.S with type 'a loc = 'a tagged M.loc =
-struct
-  type 'a loc = 'a tagged M.loc
+module Make (M : Memory.S) :
+  Memory.S with type 'a loc = ('a, bool) tagged M.loc = struct
+  module T = Tagged_word (M)
+
+  type 'a loc = ('a, bool) tagged M.loc
 
   type any = Any : 'a loc -> any
 
-  let alloc v = M.alloc { v; clean = false }
-
-  let read l = (M.read l).v
-
-  let write l v = M.write l { v; clean = false }
-
-  (* The tag can flip concurrently under us (a racing flusher marking the
-     word clean), which would fail a naive CAS even though the value is
-     unchanged; re-examine and retry in that case. *)
-  let rec cas l ~expected ~desired =
-    let t = M.read l in
-    if t.v != expected then false
-    else if M.cas l ~expected:t ~desired:{ v = desired; clean = false } then
-      true
-    else
-      let t' = M.read l in
-      if t' != t && t'.v == expected then cas l ~expected ~desired else false
+  let alloc v = M.alloc { v; tag = false }
+  let read = T.read
+  let write l v = M.write l { v; tag = false }
+  let cas l ~expected ~desired = T.cas l ~retag:(fun _ -> false) ~expected ~desired
 
   let flush l =
-    let t = M.read l in
-    if not t.clean then begin
+    let c = M.read l in
+    if not c.tag then begin
       M.flush l;
       M.fence ();
-      ignore (M.cas l ~expected:t ~desired:{ t with clean = true })
+      ignore (M.cas l ~expected:c ~desired:{ c with tag = true })
     end
 
   let fence = M.fence
   let flush_any (Any l) = flush l
+end
+
+module Policy : Policy.S = struct
+  let name = "lp"
+
+  let summary =
+    "link-and-persist: NVTraverse flush placement over durability-bit \
+     tagged words (the David et al. stand-in)"
+
+  let durable = true
+
+  let discipline =
+    "engine-placed flushes, but a flush on a clean word is free and a \
+     flush on a dirty word pays an extra CAS to mark it clean"
+
+  module Apply (M : Memory.S) = struct
+    module Mem = Make (M)
+    module Persist_m = Persist.Make (Mem)
+    module P = Persist_m.Durable
+
+    let recover () = ()
+  end
 end

@@ -16,30 +16,14 @@
    directly rather than through this wrapper. *)
 
 module Make (M : Memory.S) (P : Persist.Make(M).S) :
-  Memory.S with type 'a loc = 'a M.loc = struct
-  type 'a loc = 'a M.loc
-
-  type any = Any : 'a loc -> any
-
-  let alloc = M.alloc
-
-  let read l =
-    let v = M.read l in
-    P.flush l;
-    v
-
-  let write l v =
-    P.fence ();
-    M.write l v;
-    P.flush l
-
-  let cas l ~expected ~desired =
-    P.fence ();
-    let ok = M.cas l ~expected ~desired in
-    P.flush l;
-    ok
-
-  let flush = P.flush
-  let fence = P.fence
-  let flush_any (Any l) = flush l
-end
+  Memory.S with type 'a loc = 'a M.loc =
+  Policy.Instrument
+    (M)
+    (struct
+      let after_alloc _ = ()
+      let after_read = P.flush
+      let before_update = P.fence
+      let after_update = P.flush
+      let flush = P.flush
+      let fence = P.fence
+    end)

@@ -1,57 +1,27 @@
-(* Shared harness for tests: instantiations of every structure over the
-   simulator backend in each persistence flavour, plus a workload runner
-   that records histories, injects crashes, recovers, and checks durable
-   linearizability. *)
+(* Shared harness for tests: a workload runner that records histories,
+   injects crashes, recovers, and checks durable linearizability, plus a
+   structure-generic battery that iterates the persistence-policy
+   registry in [Nvt_harness.Instances].
+
+   Named instantiations come from the registry's convenience modules —
+   the flavour list lives only in [Instances.flavours]. *)
 
 module Nvm = Nvt_nvm
 module Machine = Nvt_sim.Machine
 module History = Nvt_sim.History
 module Lin = Nvt_sim.Linearizability
+module I = Nvt_harness.Instances
 
 module Sim_mem = Nvt_sim.Memory
 module P = Nvm.Persist.Make (Sim_mem)
-module Izr = Nvm.Izraelevitz.Make (Sim_mem)
-module P_izr = Nvm.Persist.Make (Izr)
-module Lp = Nvm.Link_and_persist.Make (Sim_mem)
-module P_lp = Nvm.Persist.Make (Lp)
 
 module type SET = Nvt_core.Set_intf.SET
 
-(* Harris list in all four flavours over the simulator. *)
-module Hl = struct
-  module Volatile = Nvt_structures.Harris_list.Make (Sim_mem) (P.Volatile)
-  module Durable = Nvt_structures.Harris_list.Make (Sim_mem) (P.Durable)
-  module Izraelevitz = Nvt_structures.Harris_list.Make (Izr) (P_izr.Volatile)
-  module Link_persist = Nvt_structures.Harris_list.Make (Lp) (P_lp.Durable)
-end
-
-module Ht = struct
-  module Volatile = Nvt_structures.Hash_table.Make (Sim_mem) (P.Volatile)
-  module Durable = Nvt_structures.Hash_table.Make (Sim_mem) (P.Durable)
-  module Izraelevitz = Nvt_structures.Hash_table.Make (Izr) (P_izr.Volatile)
-  module Link_persist = Nvt_structures.Hash_table.Make (Lp) (P_lp.Durable)
-end
-
-module Eb = struct
-  module Volatile = Nvt_structures.Ellen_bst.Make (Sim_mem) (P.Volatile)
-  module Durable = Nvt_structures.Ellen_bst.Make (Sim_mem) (P.Durable)
-  module Izraelevitz = Nvt_structures.Ellen_bst.Make (Izr) (P_izr.Volatile)
-  module Link_persist = Nvt_structures.Ellen_bst.Make (Lp) (P_lp.Durable)
-end
-
-module Nm = struct
-  module Volatile = Nvt_structures.Natarajan_bst.Make (Sim_mem) (P.Volatile)
-  module Durable = Nvt_structures.Natarajan_bst.Make (Sim_mem) (P.Durable)
-  module Izraelevitz = Nvt_structures.Natarajan_bst.Make (Izr) (P_izr.Volatile)
-  module Link_persist = Nvt_structures.Natarajan_bst.Make (Lp) (P_lp.Durable)
-end
-
-module Sl = struct
-  module Volatile = Nvt_structures.Skiplist.Make (Sim_mem) (P.Volatile)
-  module Durable = Nvt_structures.Skiplist.Make (Sim_mem) (P.Durable)
-  module Izraelevitz = Nvt_structures.Skiplist.Make (Izr) (P_izr.Volatile)
-  module Link_persist = Nvt_structures.Skiplist.Make (Lp) (P_lp.Durable)
-end
+module Hl = I.Hl
+module Ht = I.Ht
+module Eb = I.Eb
+module Nm = I.Nm
+module Sl = I.Sl
 
 (* ------------------------------------------------------------------ *)
 (* Sequential model-based testing                                      *)
@@ -223,13 +193,6 @@ let check_linearizable ?(what = "history") r =
 (* A full test battery, shared by all set structures                   *)
 (* ------------------------------------------------------------------ *)
 
-type flavours = {
-  volatile : (module SET);
-  durable : (module SET);
-  izraelevitz : (module SET);
-  link_persist : (module SET);
-}
-
 let basic_ops (module S : SET) () =
   let _m = Machine.create () in
   let s = S.create () in
@@ -287,8 +250,8 @@ let crash_recovery ~policy (module S : SET) () =
       done)
     [ Machine.No_eviction; Machine.Random_eviction 0.05 ]
 
-(* The volatile algorithm run on the simulator must lose data across
-   some crash: with no flushes and no evictions nothing after setup is
+(* A non-durable policy run on the simulator must lose data across some
+   crash: with no flushes and no evictions nothing after setup is
    persistent, so at least one seed must yield a corrupt read or a
    non-durably-linearizable history. *)
 let volatile_not_durable (module S : SET) () =
@@ -310,49 +273,56 @@ let volatile_not_durable (module S : SET) () =
       "volatile structure survived every crash; the simulator is not \
        detecting missing flushes"
 
-let structure_suite fl =
+(* The full battery for one structure functor, every case instantiated
+   through the policy registry: model and linearizability checks for
+   every flavour, crash recovery for the durable ones, loss detection
+   for the non-durable ones, plus stall/DRAM runs of the paper's own
+   transformation. *)
+let structure_suite (module Str : I.STRUCTURE) =
   let tc = Alcotest.test_case in
-  [ tc "basic ops: durable" `Quick (basic_ops fl.durable);
-    tc "model: durable" `Quick (fun () ->
-        check_against_model fl.durable ~seed:1 ~n:2000 ~key_range:64 ());
-    tc "model: volatile" `Quick (fun () ->
-        check_against_model fl.volatile ~seed:2 ~n:2000 ~key_range:64 ());
-    tc "model: izraelevitz" `Quick (fun () ->
-        check_against_model fl.izraelevitz ~seed:3 ~n:2000 ~key_range:64 ());
-    tc "model: link-and-persist" `Quick (fun () ->
-        check_against_model fl.link_persist ~seed:4 ~n:2000 ~key_range:64 ());
-    tc "linearizable: durable" `Quick
-      (concurrent_lin ~policy:"durable" fl.durable);
-    tc "linearizable: volatile" `Quick
-      (concurrent_lin ~policy:"volatile" fl.volatile);
-    tc "linearizable: izraelevitz" `Quick
-      (concurrent_lin ~policy:"izraelevitz" fl.izraelevitz);
-    tc "linearizable: link-and-persist" `Quick
-      (concurrent_lin ~policy:"lp" fl.link_persist);
-    tc "crash recovery: durable" `Quick
-      (crash_recovery ~policy:"durable" fl.durable);
-    tc "crash recovery: izraelevitz" `Quick
-      (crash_recovery ~policy:"izraelevitz" fl.izraelevitz);
-    tc "crash recovery: link-and-persist" `Quick
-      (crash_recovery ~policy:"lp" fl.link_persist);
-    tc "crash recovery: durable, stalls" `Quick (fun () ->
-        for seed = 0 to 9 do
-          let r =
-            run_workload fl.durable ~seed ~threads:4 ~ops:40 ~key_range:8
-              ~prefill:4 ~eviction:(Machine.Random_eviction 0.05)
-              ~stall:{ Machine.probability = 0.05; max_units = 20_000 }
-              ~crash_at_step:(100 + (67 * seed))
-              ()
-          in
-          check_linearizable ~what:(Printf.sprintf "stall seed %d" seed) r
-        done);
-    tc "linearizable: durable, dram profile" `Quick (fun () ->
-        for seed = 0 to 4 do
-          let r =
-            run_workload fl.durable ~seed ~threads:4 ~ops:30 ~key_range:8
-              ~prefill:4 ~cost:Nvt_nvm.Cost_model.dram ()
-          in
-          check_linearizable ~what:(Printf.sprintf "dram seed %d" seed) r
-        done);
-    tc "volatile is not durable" `Quick (volatile_not_durable fl.volatile)
-  ]
+  let inst (f : I.flavour) = I.instantiate (module Str) f.policy in
+  let nvt =
+    match I.flavour "nvt" with
+    | Some f -> inst f
+    | None -> assert false
+  in
+  let per_flavour =
+    List.concat
+      (List.mapi
+         (fun i (f : I.flavour) ->
+           let (module Pol : I.POLICY) = f.policy in
+           let set = inst f in
+           [ tc (Printf.sprintf "model: %s" f.key) `Quick (fun () ->
+                 check_against_model set ~seed:(i + 1) ~n:2000 ~key_range:64
+                   ());
+             tc (Printf.sprintf "linearizable: %s" f.key) `Quick
+               (concurrent_lin ~policy:f.key set) ]
+           @
+           if Pol.durable then
+             [ tc (Printf.sprintf "crash recovery: %s" f.key) `Quick
+                 (crash_recovery ~policy:f.key set) ]
+           else
+             [ tc (Printf.sprintf "%s is not durable" f.key) `Quick
+                 (volatile_not_durable set) ])
+         I.flavours)
+  in
+  (tc "basic ops: nvt" `Quick (basic_ops nvt) :: per_flavour)
+  @ [ tc "crash recovery: nvt, stalls" `Quick (fun () ->
+          for seed = 0 to 9 do
+            let r =
+              run_workload nvt ~seed ~threads:4 ~ops:40 ~key_range:8
+                ~prefill:4 ~eviction:(Machine.Random_eviction 0.05)
+                ~stall:{ Machine.probability = 0.05; max_units = 20_000 }
+                ~crash_at_step:(100 + (67 * seed))
+                ()
+            in
+            check_linearizable ~what:(Printf.sprintf "stall seed %d" seed) r
+          done);
+      tc "linearizable: nvt, dram profile" `Quick (fun () ->
+          for seed = 0 to 4 do
+            let r =
+              run_workload nvt ~seed ~threads:4 ~ops:30 ~key_range:8
+                ~prefill:4 ~cost:Nvt_nvm.Cost_model.dram ()
+            in
+            check_linearizable ~what:(Printf.sprintf "dram seed %d" seed) r
+          done) ]

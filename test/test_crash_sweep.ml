@@ -74,21 +74,34 @@ let sweep name (module S : SET) ~eviction () =
         crash_step total_steps Lin.pp_violation v)
   done
 
+(* The list sweep runs once per durable policy in the registry: the
+   crash-at-every-step argument must hold for each flush discipline, not
+   just the engine-placed one. *)
+let list_sweeps =
+  List.concat_map
+    (fun (f : I.flavour) ->
+      let set = I.instantiate (module Nvt_structures.Harris_list) f.policy in
+      [ Alcotest.test_case
+          (Printf.sprintf "harris list, %s (no eviction)" f.key)
+          `Quick
+          (sweep ("harris/" ^ f.key) set ~eviction:Machine.No_eviction);
+        Alcotest.test_case
+          (Printf.sprintf "harris list, %s (random eviction)" f.key)
+          `Quick
+          (sweep ("harris/" ^ f.key) set
+             ~eviction:(Machine.Random_eviction 0.1)) ])
+    I.durable_flavours
+
 let suite =
-  [ Alcotest.test_case "harris list (no eviction)" `Quick
-      (sweep "harris" (module Hl.Durable) ~eviction:Machine.No_eviction);
-    Alcotest.test_case "harris list (random eviction)" `Quick
-      (sweep "harris"
-         (module Hl.Durable)
-         ~eviction:(Machine.Random_eviction 0.1));
-    Alcotest.test_case "ellen bst" `Quick
+  list_sweeps
+  @ [ Alcotest.test_case "ellen bst" `Quick
       (sweep "ellen" (module Eb.Durable) ~eviction:Machine.No_eviction);
     Alcotest.test_case "natarajan bst" `Quick
       (sweep "natarajan" (module Nm.Durable) ~eviction:Machine.No_eviction);
     Alcotest.test_case "skiplist" `Quick
       (sweep "skiplist" (module Sl.Durable) ~eviction:Machine.No_eviction);
-    Alcotest.test_case "onefile set" `Quick
-      (sweep "onefile"
-         (module Nvt_baselines.Onefile.Set (Sim_mem))
-         ~eviction:(Machine.Random_eviction 0.1))
-  ]
+      Alcotest.test_case "onefile set" `Quick
+        (sweep "onefile"
+           (module Nvt_baselines.Onefile.Set (Sim_mem))
+           ~eviction:(Machine.Random_eviction 0.1))
+    ]

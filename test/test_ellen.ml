@@ -2,12 +2,6 @@
 
 open Support
 
-let flavours =
-  { volatile = (module Eb.Volatile : SET);
-    durable = (module Eb.Durable : SET);
-    izraelevitz = (module Eb.Izraelevitz : SET);
-    link_persist = (module Eb.Link_persist : SET) }
-
 (* The tree keeps its external-BST shape through skewed insertion
    orders. *)
 let shapes () =
@@ -43,7 +37,7 @@ let recovery_completes_descriptors () =
   done
 
 let suite =
-  structure_suite flavours
+  structure_suite (module Nvt_structures.Ellen_bst)
   @ [ Alcotest.test_case "shapes" `Quick shapes;
       Alcotest.test_case "recovery completes descriptors" `Quick
         recovery_completes_descriptors ]

@@ -2,12 +2,6 @@
 
 open Support
 
-let flavours =
-  { volatile = (module Hl.Volatile : SET);
-    durable = (module Hl.Durable : SET);
-    izraelevitz = (module Hl.Izraelevitz : SET);
-    link_persist = (module Hl.Link_persist : SET) }
-
 let ordering () =
   let _m = Machine.create () in
   let module S = Hl.Durable in
@@ -39,7 +33,7 @@ let recovery_trims_marked () =
   done
 
 let suite =
-  structure_suite flavours
+  structure_suite (module Nvt_structures.Harris_list)
   @ [ Alcotest.test_case "ordering" `Quick ordering;
       Alcotest.test_case "recovery trims marked nodes" `Quick
         recovery_trims_marked ]

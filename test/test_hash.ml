@@ -3,12 +3,6 @@
 
 open Support
 
-let flavours =
-  { volatile = (module Ht.Volatile : SET);
-    durable = (module Ht.Durable : SET);
-    izraelevitz = (module Ht.Izraelevitz : SET);
-    link_persist = (module Ht.Link_persist : SET) }
-
 (* Keys that collide into the same bucket behave like a list; keys that
    spread exercise the directory. *)
 let collisions () =
@@ -59,7 +53,7 @@ let generic_buckets () =
   check_against_model (module T2) ~seed:22 ~n:1500 ~key_range:64 ()
 
 let suite =
-  structure_suite flavours
+  structure_suite (module I.Hash_sized)
   @ [ Alcotest.test_case "collisions" `Quick collisions;
       Alcotest.test_case "model: 2-bucket directory" `Quick
         small_directory_model;

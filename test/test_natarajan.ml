@@ -2,12 +2,6 @@
 
 open Support
 
-let flavours =
-  { volatile = (module Nm.Volatile : SET);
-    durable = (module Nm.Durable : SET);
-    izraelevitz = (module Nm.Izraelevitz : SET);
-    link_persist = (module Nm.Link_persist : SET) }
-
 let shapes () =
   let _m = Machine.create () in
   let module S = Nm.Durable in
@@ -47,7 +41,7 @@ let recovery_completes_deletes () =
   done
 
 let suite =
-  structure_suite flavours
+  structure_suite (module Nvt_structures.Natarajan_bst)
   @ [ Alcotest.test_case "shapes" `Quick shapes;
       Alcotest.test_case "recovery completes deletes" `Quick
         recovery_completes_deletes ]

@@ -238,6 +238,43 @@ let recover_noop name set =
       S.check_invariants s;
       S.to_list s = before)
 
+(* FliT's reader-side flush (flush iff the in-flight-writer counter is
+   nonzero) must preserve durable linearizability on arbitrary crashed
+   histories: random seed, random crash point, eviction adversary on. *)
+let flit_durably_linearizable =
+  QCheck.Test.make ~count:60
+    ~name:"flit: random crashed histories are durably linearizable"
+    QCheck.(pair (int_bound 1000) (int_bound 400))
+    (fun (seed, crash) ->
+      let r =
+        run_workload
+          (module Hl.Flit)
+          ~seed ~threads:4 ~ops:30 ~key_range:8 ~prefill:4
+          ~eviction:(Machine.Random_eviction 0.05)
+          ~crash_at_step:(50 + crash) ()
+      in
+      match Lin.check_set ~initial_keys:r.prefilled r.history with
+      | Ok () -> true
+      | Error _ -> false)
+
+(* The point of FliT: a lookup-only workload observes almost no in-flight
+   writers, so its flush count must sit strictly below Izraelevitz et
+   al.'s flush-per-load discipline. *)
+let flit_flushes_below_izraelevitz () =
+  let module T = Nvt_harness.Throughput in
+  let run set =
+    T.run set ~cost:Nvm.Cost_model.nvram ~seed:7
+      { T.threads = 8;
+        range = 128;
+        mix = Nvt_workload.Workload.updates ~pct:0;
+        total_ops = 2000 }
+  in
+  let flit = run (module Hl.Flit : SET) in
+  let izr = run (module Hl.Izraelevitz : SET) in
+  if flit.T.flushes_per_op >= izr.T.flushes_per_op then
+    Alcotest.failf "flit lookups flush %.2f/op, izraelevitz %.2f/op"
+      flit.T.flushes_per_op izr.T.flushes_per_op
+
 (* Same seed, same workload: byte-identical outcome. *)
 let determinism =
   QCheck.Test.make ~count:20 ~name:"simulation is deterministic in its seed"
@@ -285,6 +322,7 @@ let suite =
   List.map QCheck_alcotest.to_alcotest
     [ model_prop "harris list (nvt) = model" (module Hl.Durable : SET);
       model_prop "harris list (izr) = model" (module Hl.Izraelevitz : SET);
+      model_prop "harris list (flit) = model" (module Hl.Flit : SET);
       model_prop "ellen bst (nvt) = model" (module Eb.Durable : SET);
       model_prop "natarajan bst (nvt) = model" (module Nm.Durable : SET);
       model_prop "skiplist (nvt) = model" (module Sl.Durable : SET);
@@ -298,8 +336,11 @@ let suite =
       recover_noop "ellen bst" (module Eb.Durable : SET);
       recover_noop "natarajan bst" (module Nm.Durable : SET);
       recover_noop "skiplist" (module Sl.Durable : SET);
+      flit_durably_linearizable;
       checker_accepts_sequential;
       checker_rejects_corruption;
       determinism;
       workload_contract;
       prefill_contract ]
+  @ [ Alcotest.test_case "flit lookups flush less than izraelevitz" `Quick
+        flit_flushes_below_izraelevitz ]

@@ -153,20 +153,33 @@ let multi_crash name (module S : SET) () =
       Alcotest.failf "%s seed %d: %a" name seed Lin.pp_violation v)
   done
 
+(* Interrupted-recovery and repeated-crash robustness must hold for
+   every durable policy, so the list runs once per registry entry. *)
+let list_cases =
+  List.concat_map
+    (fun (f : I.flavour) ->
+      let set = I.instantiate (module Nvt_structures.Harris_list) f.policy in
+      [ Alcotest.test_case
+          (Printf.sprintf "crash during recovery: list, %s" f.key)
+          `Quick
+          (crash_during_recovery ("list/" ^ f.key) set);
+        Alcotest.test_case
+          (Printf.sprintf "multiple crash eras: list, %s" f.key)
+          `Quick
+          (multi_crash ("list/" ^ f.key) set) ])
+    I.durable_flavours
+
 let suite =
-  [ Alcotest.test_case "crash during recovery: list" `Quick
-      (crash_during_recovery "list" (module Hl.Durable));
-    Alcotest.test_case "crash during recovery: ellen bst" `Quick
+  list_cases
+  @ [ Alcotest.test_case "crash during recovery: ellen bst" `Quick
       (crash_during_recovery "ellen" (module Eb.Durable));
     Alcotest.test_case "crash during recovery: natarajan bst" `Quick
       (crash_during_recovery "natarajan" (module Nm.Durable));
     Alcotest.test_case "crash during recovery: skiplist" `Quick
       (crash_during_recovery "skiplist" (module Sl.Durable));
-    Alcotest.test_case "crash during recovery: hash table" `Quick
-      (crash_during_recovery "hash" (module Ht.Durable));
-    Alcotest.test_case "multiple crash eras: list" `Quick
-      (multi_crash "list" (module Hl.Durable));
-    Alcotest.test_case "multiple crash eras: skiplist" `Quick
-      (multi_crash "skiplist" (module Sl.Durable));
-    Alcotest.test_case "multiple crash eras: natarajan bst" `Quick
-      (multi_crash "natarajan" (module Nm.Durable)) ]
+      Alcotest.test_case "crash during recovery: hash table" `Quick
+        (crash_during_recovery "hash" (module Ht.Durable));
+      Alcotest.test_case "multiple crash eras: skiplist" `Quick
+        (multi_crash "skiplist" (module Sl.Durable));
+      Alcotest.test_case "multiple crash eras: natarajan bst" `Quick
+        (multi_crash "natarajan" (module Nm.Durable)) ]

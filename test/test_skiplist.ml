@@ -2,12 +2,6 @@
 
 open Support
 
-let flavours =
-  { volatile = (module Sl.Volatile : SET);
-    durable = (module Sl.Durable : SET);
-    izraelevitz = (module Sl.Izraelevitz : SET);
-    link_persist = (module Sl.Link_persist : SET) }
-
 (* After any crash the towers are garbage (they are never flushed);
    recovery must rebuild them so that later operations — which route
    through the towers — still find every surviving key. *)
@@ -61,7 +55,7 @@ let deterministic_heights () =
   done
 
 let suite =
-  structure_suite flavours
+  structure_suite (module Nvt_structures.Skiplist)
   @ [ Alcotest.test_case "towers rebuilt after crash" `Quick towers_rebuilt;
       Alcotest.test_case "deterministic heights" `Quick deterministic_heights
     ]
