@@ -21,34 +21,45 @@ let full =
 let seed =
   Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Simulation seed.")
 
-let run_panels ids full seed =
+let json =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:"Also write machine-readable results (BENCH_panels.json / \
+              BENCH_micro.json; see EXPERIMENTS.md for the schema).")
+
+let run_panels ids full seed json =
   let scale = if full then Nvt_harness.Panels.Full else Nvt_harness.Panels.Quick in
   Printf.printf
     "NVTraverse benchmark panels (%s scale). Simulated throughput; see \
      EXPERIMENTS.md for shape comparison against the paper.\n"
     (if full then "full" else "quick");
-  Nvt_harness.Panels.run ~seed ~scale ids;
+  let json_path = if json then Some "BENCH_panels.json" else None in
+  Nvt_harness.Panels.run ~seed ?json_path ~scale ids;
   if ids = [] then Nvt_harness.Extensions.all ()
 
 let panels_cmd =
   Cmd.v (Cmd.info "panels" ~doc:"Regenerate the paper's figure panels")
-    Term.(const run_panels $ panel_ids $ full $ seed)
+    Term.(const run_panels $ panel_ids $ full $ seed $ json)
 
 let ext_cmd cmd_name doc =
   let run () = Nvt_harness.Extensions.run cmd_name in
   Cmd.v (Cmd.info cmd_name ~doc) Term.(const run $ const ())
 
+let run_micro json =
+  Micro.run ?json_path:(if json then Some "BENCH_micro.json" else None) ()
+
 let micro_cmd =
   Cmd.v
     (Cmd.info "micro" ~doc:"Bechamel per-operation latency, native backend")
-    Term.(const Micro.run $ const ())
+    Term.(const run_micro $ json)
 
 let native_cmd =
   Cmd.v
     (Cmd.info "native" ~doc:"Real-domain throughput, native backend")
     Term.(const Native_bench.run $ const ())
 
-let default = Term.(const run_panels $ panel_ids $ full $ seed)
+let default = Term.(const run_panels $ panel_ids $ full $ seed $ json)
 
 let () =
   let info =

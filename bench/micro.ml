@@ -45,7 +45,7 @@ let make_tests () =
     @ mk "nvt" (module Hl_nvt)
     @ mk "izr" (module Hl_izr))
 
-let run () =
+let run ?json_path () =
   let tests = make_tests () in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
@@ -60,4 +60,40 @@ let run () =
   Hashtbl.iter
     (fun name ols_result ->
       Fmt.pr "%-32s %a@." name Analyze.OLS.pp ols_result)
-    results
+    results;
+  match json_path with
+  | None -> ()
+  | Some path ->
+    let module Json = Nvt_harness.Json in
+    let rows =
+      Hashtbl.fold
+        (fun name ols_result acc ->
+          let ns_per_op =
+            match Analyze.OLS.estimates ols_result with
+            | Some (e :: _) -> Json.Float e
+            | Some [] | None -> Json.Null
+          in
+          let r2 =
+            match Analyze.OLS.r_square ols_result with
+            | Some r -> Json.Float r
+            | None -> Json.Null
+          in
+          Json.Obj
+            [ ("name", Json.Str name);
+              ("ns_per_op", ns_per_op);
+              ("r_square", r2) ]
+          :: acc)
+        results []
+    in
+    (* Hashtbl.fold order is unspecified; sort by name for stable output *)
+    let name_of = function
+      | Json.Obj (("name", Json.Str n) :: _) -> n
+      | _ -> ""
+    in
+    let rows = List.sort (fun a b -> compare (name_of a) (name_of b)) rows in
+    Json.write_file path
+      (Json.Obj
+         [ ("schema", Json.Str "nvtraverse-micro/1");
+           ("unit", Json.Str "ns/op");
+           ("results", Json.List rows) ]);
+    Printf.printf "wrote %s\n%!" path

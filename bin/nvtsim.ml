@@ -76,6 +76,13 @@ let crashes =
 let dram =
   Arg.(value & flag & info [ "dram" ] ~doc:"Use the DRAM cost profile.")
 
+let trace_cap =
+  Arg.(
+    value & opt int 0
+    & info [ "trace" ] ~docv:"N"
+        ~doc:"Record the last $(docv) machine events (writes, flushes, \
+              fences, evictions, crashes) and print them in the report.")
+
 let report s_name p_name (r : H.Crashlab.report) =
   Printf.printf "structure:  %s (%s)\n" s_name p_name;
   Printf.printf "operations: %d across %d era(s)\n" r.history_length r.eras;
@@ -84,6 +91,30 @@ let report s_name p_name (r : H.Crashlab.report) =
     (1e3 *. float_of_int r.history_length /. float_of_int r.makespan);
   Printf.printf "instructions: %s\n"
     (Format.asprintf "%a" Nvt_nvm.Stats.pp r.stats);
+  (match Nvt_nvm.Stats.sites r.stats with
+  | [] -> ()
+  | sites ->
+    print_endline "attribution:";
+    List.iter
+      (fun (name, { Nvt_nvm.Stats.s_flushes; s_fences; s_cas }) ->
+        Printf.printf "  %-22s %5d flush  %5d fence  %5d cas\n" name s_flushes
+          s_fences s_cas)
+      sites);
+  Printf.printf "crashes:    %d fired of %d requested, %d steps covered\n"
+    r.crashes_fired r.crashes_requested r.steps;
+  if r.crashes_fired < r.crashes_requested then
+    Printf.printf
+      "            WARNING: %d crash(es) requested beyond the end of their \
+       era never fired\n"
+      (r.crashes_requested - r.crashes_fired);
+  if r.trace <> [] then begin
+    Printf.printf "trace:      last %d event(s), %d older dropped\n"
+      (List.length r.trace) r.trace_dropped;
+    List.iter
+      (fun e ->
+        Format.printf "  %a@." Nvt_sim.Machine.pp_event e)
+      r.trace
+  end;
   match r.linearizable with
   | Ok () ->
     print_endline "verdict:    durably linearizable";
@@ -94,7 +125,7 @@ let report s_name p_name (r : H.Crashlab.report) =
     false
 
 let run s_name p_name threads ops range seed updates eviction stall crashes
-    dram =
+    dram trace_cap =
   let variants = List.assoc s_name structures in
   let chosen =
     if p_name = "all" then
@@ -133,7 +164,8 @@ let run s_name p_name threads ops range seed updates eviction stall crashes
         (if stall > 0.0 then
            Some { Nvt_sim.Machine.probability = stall; max_units = 20_000 }
          else None);
-      crash_steps = crashes }
+      crash_steps = crashes;
+      trace_capacity = trace_cap }
   in
   let verdicts =
     List.map
@@ -155,7 +187,7 @@ let () =
   let term =
     Term.(
       const run $ structure $ policy $ threads $ ops $ range $ seed $ updates
-      $ eviction $ stall $ crashes $ dram)
+      $ eviction $ stall $ crashes $ dram $ trace_cap)
   in
   exit
     (Cmd.eval

@@ -59,13 +59,32 @@ module Make (M : Nvt_nvm.Memory.S) (P : Nvt_nvm.Persist.Make(M).S) = struct
 
   let ablation = ref no_ablation
 
+  (* Attribution: each engine placement names its site so the per-site
+     flush table separates the traversal/critical boundary cost from
+     Protocol 2's per-access cost. Tag only when the policy's flushes
+     are real — under [Volatile] the instruction is erased and a
+     pending tag would leak onto the next counted access. *)
+  let tag site = if P.enabled then Nvt_nvm.Stats.set_site site
+
   let ensure_reachable reach =
     match reach with
-    | Original_parent l -> P.flush_any l
-    | Parents ls -> List.iter P.flush_any ls
+    | Original_parent l ->
+      tag "nvt:ensure_reachable";
+      P.flush_any l
+    | Parents ls ->
+      List.iter
+        (fun l ->
+          tag "nvt:ensure_reachable";
+          P.flush_any l)
+        ls
 
   let make_persistent locs =
-    List.iter P.flush_any locs;
+    List.iter
+      (fun l ->
+        tag "nvt:make_persistent";
+        P.flush_any l)
+      locs;
+    tag "nvt:make_persistent";
     P.fence ()
 
   let operation ~find_entry ~traverse ~critical input =
@@ -78,7 +97,10 @@ module Make (M : Nvt_nvm.Memory.S) (P : Nvt_nvm.Persist.Make(M).S) = struct
       match critical tr.nodes input with
       | Restart -> attempt ()
       | Finish v ->
-        if not ab.skip_final_fence then P.fence ();
+        if not ab.skip_final_fence then begin
+          tag "nvt:return_fence";
+          P.fence ()
+        end;
         v
     in
     attempt ()

@@ -39,6 +39,30 @@
    linked it in (its original parent), unless the structure uses the
    k-parents optimization of Lemma 4.1. *)
 
+(* The transformation's instrumentation points, as data: every flush and
+   fence the engine (or its Protocol 2 memory) injects is attributed to
+   one of these sites in [Nvt_nvm.Stats], and the telemetry tests check
+   that an NVTraverse run never reports a site outside this list. The
+   naming convention is [<policy>:<point>]; the policy wrappers add
+   their own families ([izr:*], [lp:*], [flit:*]) next to the engine's
+   [nvt:*]. *)
+let nvt_sites =
+  [ ("nvt:ensure_reachable",
+     "flush of the link(s) connecting the returned subtree to the \
+      structure (Supplement 2 original parent, or Lemma 4.1 k-parents)");
+    ("nvt:make_persistent",
+     "flushes of every field the traversal read in the returned nodes, \
+      plus the one boundary fence that also covers ensureReachable");
+    ("nvt:crit_read", "Protocol 2: flush after a shared read in critical");
+    ("nvt:crit_update", "Protocol 2: flush after a write/CAS in critical");
+    ("nvt:crit_fence",
+     "Protocol 2: fence before a write/CAS in critical (also \
+      structure-issued fences inside critical)");
+    ("nvt:crit_flush",
+     "structure-issued flush inside critical (e.g. a new node's fields \
+      before it is published)");
+    ("nvt:return_fence", "the fence before the operation returns") ]
+
 type properties = {
   correctness : string;
   core_tree : string;

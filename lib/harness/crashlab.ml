@@ -21,6 +21,7 @@ type config = {
   eviction : Machine.eviction;
   stall : Machine.stall option;
   crash_steps : int list;  (* one crash per era, in order *)
+  trace_capacity : int;  (* 0 = no event trace *)
 }
 
 let default_config =
@@ -32,15 +33,24 @@ let default_config =
     cost = Nvt_nvm.Cost_model.nvram;
     eviction = Machine.No_eviction;
     stall = None;
-    crash_steps = [] }
+    crash_steps = [];
+    trace_capacity = 0 }
 
 type report = {
   history_length : int;
   eras : int;
   final_size : int;
   makespan : int;
+  steps : int;  (* total simulator steps across all eras *)
+  crashes_requested : int;
+  crashes_fired : int;
+      (* a [crash_steps] entry beyond an era's end never fires: the era
+         completes first. Reporting requested vs fired makes that
+         visible instead of silently testing less than configured. *)
   stats : Nvt_nvm.Stats.t;
   linearizable : (unit, Lin.violation) result;
+  trace : Machine.event list;  (* last [trace_capacity] events *)
+  trace_dropped : int;
 }
 
 let run (module S : SET) (c : config) =
@@ -56,7 +66,9 @@ let run (module S : SET) (c : config) =
          (Workload.prefill_keys ~range:c.key_range))
   in
   Machine.persist_all m;
+  if c.trace_capacity > 0 then Machine.set_trace m ~capacity:c.trace_capacity;
   let h = History.create () in
+  let fired = ref 0 in
   let spawn_era () =
     for tid = 0 to c.threads - 1 do
       let g =
@@ -97,10 +109,14 @@ let run (module S : SET) (c : config) =
       Machine.set_crash_at_step m (Machine.steps m + step);
       match Machine.run m with
       | Machine.Crashed_at t ->
+        incr fired;
         History.mark_crash h ~time:t;
         S.recover s;
         eras rest
       | Machine.Completed ->
+        (* The era finished before the requested step: the crash never
+           fired. Clear it and carry on, but the report will show
+           [crashes_fired < crashes_requested]. *)
         Machine.clear_crash m;
         eras rest)
   in
@@ -110,8 +126,13 @@ let run (module S : SET) (c : config) =
     eras = History.era h + 1;
     final_size = S.size s;
     makespan = Machine.makespan m;
+    steps = Machine.steps m;
+    crashes_requested = List.length c.crash_steps;
+    crashes_fired = !fired;
     stats = Machine.stats m;
-    linearizable = Lin.check_set ~initial_keys:prefilled h }
+    linearizable = Lin.check_set ~initial_keys:prefilled h;
+    trace = Machine.trace m;
+    trace_dropped = Machine.trace_dropped m }
 
 (* Registry-driven runs: the same config under every policy of
    [Instances.flavours] for one structure. Configs that crash restrict

@@ -150,7 +150,30 @@ let run_mix () =
   Printf.printf
     "(NVTraverse's counts are constant per operation; Izraelevitz et \
      al.'s grow with the traversal; link-and-persist trades flushes for \
-     CAS; FliT pays per update plus racy reads)\n%!"
+     CAS; FliT pays per update plus racy reads)\n";
+  (* Where the instructions come from: the per-site attribution table
+     for the list under each durable policy. Sites follow the
+     <policy>:<point> convention documented in EXPERIMENTS.md. *)
+  Printf.printf "\n## attribution (list, per instrumentation site)\n";
+  List.iter
+    (fun (f : flavour) ->
+      let scale = if f.key = "izraelevitz" then 0.1 else f.ops_scale in
+      let r =
+        Throughput.run
+          (instantiate (module Nvt_structures.Harris_list) f.policy)
+          ~cost:Cost_model.nvram ~seed:2
+          { Throughput.threads = 16; range = 512;
+            mix = Workload.updates ~pct:20;
+            total_ops = int_of_float (4000. *. scale) }
+      in
+      Printf.printf "%s:\n" f.key;
+      List.iter
+        (fun (site, { Stats.s_flushes; s_fences; s_cas }) ->
+          Printf.printf "  %-22s %7d flush %7d fence %7d cas\n" site s_flushes
+            s_fences s_cas)
+        (Stats.sites r.Throughput.stats))
+    durable_flavours;
+  Printf.printf "%!"
 
 let run = function
   | "recovery" -> run_recovery ()

@@ -1,0 +1,91 @@
+(* A minimal JSON emitter for the benchmark harness.
+
+   The repository deliberately has no JSON dependency; the machine-
+   readable telemetry ([BENCH_panels.json], [BENCH_micro.json]) only
+   needs *emission*, and only of the handful of shapes below, so a small
+   constructor set plus a correct string escaper is the whole surface.
+   The output is stable: object fields print in the order given, floats
+   print with [%.6g], and non-finite floats (a degenerate regression,
+   a zero-op series) become [null] so every consumer can parse the file
+   with a strict JSON parser. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let rec emit b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f ->
+    if Float.is_finite f then Buffer.add_string b (Printf.sprintf "%.6g" f)
+    else Buffer.add_string b "null"
+  | Str s ->
+    Buffer.add_char b '"';
+    Buffer.add_string b (escape s);
+    Buffer.add_char b '"'
+  | List xs ->
+    Buffer.add_char b '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char b ',';
+        emit b x)
+      xs;
+    Buffer.add_char b ']'
+  | Obj fields ->
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        emit b (Str k);
+        Buffer.add_char b ':';
+        emit b v)
+      fields;
+    Buffer.add_char b '}'
+
+let to_string v =
+  let b = Buffer.create 4096 in
+  emit b v;
+  Buffer.contents b
+
+let write_file path v =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string v);
+      output_char oc '\n')
+
+(* The per-site attribution table of a stats delta, heaviest site
+   first — shared by the panels and crashlab emitters. *)
+let sites (st : Nvt_nvm.Stats.t) =
+  List
+    (List.map
+       (fun (name, { Nvt_nvm.Stats.s_flushes; s_fences; s_cas }) ->
+         Obj
+           [ ("site", Str name);
+             ("flushes", Int s_flushes);
+             ("fences", Int s_fences);
+             ("cas", Int s_cas) ])
+       (Nvt_nvm.Stats.sites st))

@@ -228,12 +228,23 @@ let params_for panel point =
   in
   { Throughput.threads; range; mix; total_ops = panel.base_ops }
 
+let point_value = function `Threads n | `Range n | `Updates n -> n
+
+(* Runs one panel, printing the human-readable table as before, and
+   returns the panel's telemetry as a JSON object: per-series sweep
+   points (throughput plus the flush/fence mix at every point, not just
+   the last), the series' aggregate counters, and the per-site
+   attribution table that explains where the flushes and fences come
+   from. *)
 let run_panel ?(seed = 1) (panel : panel) =
   Printf.printf "\n# Fig %s — %s\n" panel.id panel.title;
   Printf.printf "%-8s" (sweep_label panel.sweep);
   List.iter (fun s -> Printf.printf " %12s" s.label) panel.series;
   print_newline ();
   let mix_totals = Hashtbl.create 8 in
+  (* per-series accumulators, in panel.series order *)
+  let points = Hashtbl.create 8 in
+  let totals = Hashtbl.create 8 in
   List.iter
     (fun (label, point) ->
       Printf.printf "%-8s" label;
@@ -253,6 +264,18 @@ let run_panel ?(seed = 1) (panel : panel) =
           let r = Throughput.run series.set ~cost:panel.cost ~seed p in
           Hashtbl.replace mix_totals series.label
             (r.flushes_per_op, r.fences_per_op);
+          Hashtbl.replace points series.label
+            ((point_value point, r)
+            :: Option.value (Hashtbl.find_opt points series.label) ~default:[]);
+          let acc =
+            match Hashtbl.find_opt totals series.label with
+            | Some acc -> acc
+            | None ->
+              let acc = Nvt_nvm.Stats.zero () in
+              Hashtbl.add totals series.label acc;
+              acc
+          in
+          Nvt_nvm.Stats.accumulate ~into:acc r.Throughput.stats;
           Printf.printf " %12.3f" r.mops)
         panel.series;
       print_newline ())
@@ -264,11 +287,59 @@ let run_panel ?(seed = 1) (panel : panel) =
       | Some (fl, fe) -> Printf.printf " %s=%.1f/%.1f" s.label fl fe
       | None -> ())
     panel.series;
-  Printf.printf ")\n%!"
+  Printf.printf ")\n%!";
+  let series_json (s : series) =
+    let pts = List.rev (Option.value (Hashtbl.find_opt points s.label) ~default:[]) in
+    let st =
+      match Hashtbl.find_opt totals s.label with
+      | Some st -> st
+      | None -> Nvt_nvm.Stats.zero ()
+    in
+    let durable =
+      match s.policy with
+      | None -> Json.Null
+      | Some key -> (
+        match Instances.flavour key with
+        | None -> Json.Null
+        | Some f ->
+          let (module Pol : Instances.POLICY) = f.policy in
+          Json.Bool Pol.durable)
+    in
+    Json.Obj
+      [ ("label", Json.Str s.label);
+        ("policy",
+         match s.policy with None -> Json.Null | Some k -> Json.Str k);
+        ("durable", durable);
+        ("points",
+         Json.List
+           (List.map
+              (fun (x, (r : Throughput.result)) ->
+                Json.Obj
+                  [ ("x", Json.Int x);
+                    ("mops", Json.Float r.mops);
+                    ("flushes_per_op", Json.Float r.flushes_per_op);
+                    ("fences_per_op", Json.Float r.fences_per_op);
+                    ("cas_failure_rate", Json.Float r.cas_failure_rate);
+                    ("ops", Json.Int r.ops);
+                    ("makespan", Json.Int r.makespan) ])
+              pts));
+        ("totals",
+         Json.Obj
+           [ ("flushes", Json.Int st.Nvt_nvm.Stats.flushes);
+             ("fences", Json.Int st.fences);
+             ("cas", Json.Int st.cas);
+             ("cas_failures", Json.Int st.cas_failures) ]);
+        ("sites", Json.sites st) ]
+  in
+  Json.Obj
+    [ ("id", Json.Str panel.id);
+      ("title", Json.Str panel.title);
+      ("sweep", Json.Str (sweep_label panel.sweep));
+      ("series", Json.List (List.map series_json panel.series)) ]
 
 let all_ids scale = List.map (fun p -> p.id) (panels scale)
 
-let run ?seed ~scale ids =
+let run ?seed ?json_path ~scale ids =
   let available = panels scale in
   let chosen =
     if ids = [] then available
@@ -282,4 +353,15 @@ let run ?seed ~scale ids =
             None)
         ids
   in
-  List.iter (run_panel ?seed) chosen
+  let panel_objs = List.map (run_panel ?seed) chosen in
+  match json_path with
+  | None -> ()
+  | Some path ->
+    Json.write_file path
+      (Json.Obj
+         [ ("schema", Json.Str "nvtraverse-panels/1");
+           ("scale",
+            Json.Str (match scale with Quick -> "quick" | Full -> "full"));
+           ("seed", Json.Int (Option.value seed ~default:1));
+           ("panels", Json.List panel_objs) ]);
+    Printf.printf "wrote %s\n%!" path

@@ -30,6 +30,7 @@ type result = {
   flushes_per_op : float;
   fences_per_op : float;
   cas_failure_rate : float;
+  stats : Stats.t;  (* the run's counter delta, with per-site attribution *)
 }
 
 let run (module S : SET) ~cost ~seed (p : params) =
@@ -66,4 +67,5 @@ let run (module S : SET) ~cost ~seed (p : params) =
     fences_per_op = float_of_int stats.fences /. float_of_int ops;
     cas_failure_rate =
       (if stats.cas = 0 then 0.0
-       else float_of_int stats.cas_failures /. float_of_int stats.cas) }
+       else float_of_int stats.cas_failures /. float_of_int stats.cas);
+    stats }

@@ -19,6 +19,9 @@ type result = {
   flushes_per_op : float;
   fences_per_op : float;
   cas_failure_rate : float;
+  stats : Nvt_nvm.Stats.t;
+      (** the run's counter delta, including the per-site attribution
+          table — the JSON emitter and the telemetry tests read it *)
 }
 
 val run : (module SET) -> cost:Nvt_nvm.Cost_model.t -> seed:int -> params -> result

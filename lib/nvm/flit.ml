@@ -43,37 +43,49 @@ module Make (M : Memory.S) :
      persistent before the algorithm can publish a pointer to it. *)
   let alloc v =
     let l = M.alloc { v; tag = 0 } in
+    Stats.set_site "flit:alloc";
     M.flush l;
+    Stats.set_site "flit:alloc";
     M.fence ();
     l
 
   let read l =
     let c = M.read l in
     if c.tag > 0 then begin
+      Stats.set_site "flit:racy_read";
       M.flush l;
+      Stats.set_site "flit:racy_read";
       M.fence ()
     end;
     c.v
 
   let rec decrement l =
     let c = M.read l in
-    if
-      c.tag > 0
-      && not (M.cas l ~expected:c ~desired:{ c with tag = c.tag - 1 })
-    then decrement l
+    if c.tag > 0 then begin
+      Stats.set_site "flit:decrement";
+      if not (M.cas l ~expected:c ~desired:{ c with tag = c.tag - 1 }) then
+        decrement l
+    end
 
   let write_back l =
+    Stats.set_site "flit:write_back";
     M.flush l;
+    Stats.set_site "flit:write_back";
     M.fence ();
     decrement l
 
   let rec write l v =
     let c = M.read l in
+    Stats.set_site "flit:install";
     if M.cas l ~expected:c ~desired:{ v; tag = c.tag + 1 } then write_back l
-    else write l v
+    else begin
+      (* the failed CAS consumed the tag; retry re-tags *)
+      write l v
+    end
 
   let cas l ~expected ~desired =
-    if T.cas l ~retag:(fun t -> t + 1) ~expected ~desired then begin
+    if T.cas l ~site:"flit:install" ~retag:(fun t -> t + 1) ~expected ~desired
+    then begin
       write_back l;
       true
     end

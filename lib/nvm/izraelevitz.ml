@@ -14,14 +14,19 @@ module Make (M : Memory.S) : Memory.S with type 'a loc = 'a M.loc =
   Policy.Instrument
     (M)
     (struct
-      let persist l =
+      (* Attribution sites: every flush/fence pair names the access
+         class that triggered it, so the per-site table shows where the
+         transformation's cost concentrates (loads, overwhelmingly). *)
+      let persist site l =
+        Stats.set_site site;
         M.flush l;
+        Stats.set_site site;
         M.fence ()
 
-      let after_alloc = persist
-      let after_read = persist
+      let after_alloc l = persist "izr:alloc" l
+      let after_read l = persist "izr:load" l
       let before_update () = ()
-      let after_update = persist
+      let after_update l = persist "izr:update" l
       let flush = M.flush
       let fence = M.fence
     end)

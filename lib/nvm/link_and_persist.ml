@@ -31,13 +31,23 @@ module Make (M : Memory.S) :
   let alloc v = M.alloc { v; tag = false }
   let read = T.read
   let write l v = M.write l { v; tag = false }
-  let cas l ~expected ~desired = T.cas l ~retag:(fun _ -> false) ~expected ~desired
 
+  let cas l ~expected ~desired =
+    T.cas l ~site:Stats.app_site ~retag:(fun _ -> false) ~expected ~desired
+
+  (* A clean-line flush issues no instruction at all, so any site tag
+     the engine set for its placement must be dropped here rather than
+     leak onto an unrelated later access; the dirty path claims its own
+     mechanism sites. *)
   let flush l =
+    Stats.clear_site ();
     let c = M.read l in
     if not c.tag then begin
+      Stats.set_site "lp:flush";
       M.flush l;
+      Stats.set_site "lp:drain";
       M.fence ();
+      Stats.set_site "lp:mark_clean";
       ignore (M.cas l ~expected:c ~desired:{ c with tag = true })
     end
 

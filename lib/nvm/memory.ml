@@ -12,7 +12,13 @@
    fields, not locations, which is how the paper's "no flush after reading
    an immutable field" rule is expressed structurally. Fields that must be
    persisted before a node is published (key, value) are grouped in a
-   location written once at initialization. *)
+   location written once at initialization.
+
+   Counting backends attribute each flush, fence and CAS they count to
+   the pending site tag ([Stats.set_site], consumed per instruction);
+   instrumentation layers set the tag immediately before the access so
+   that the benchmark harness can report which instrumentation point
+   pays each instruction, not just the totals. *)
 
 module type S = sig
   type 'a loc

@@ -70,19 +70,18 @@ let write l v =
 
 let cas l ~expected ~desired =
   let s = Domain.DLS.get local_stats in
-  s.cas <- s.cas + 1;
   let ok = Atomic.compare_and_set l.cell expected desired in
-  if not ok then s.cas_failures <- s.cas_failures + 1;
+  Stats.record_cas s ~site:(Stats.take_site ()) ~ok;
   ok
 
 let flush _l =
   let s = Domain.DLS.get local_stats in
-  s.flushes <- s.flushes + 1;
+  Stats.record_flush s ~site:(Stats.take_site ());
   spin (Atomic.get flush_spin)
 
 let fence () =
   let s = Domain.DLS.get local_stats in
-  s.fences <- s.fences + 1;
+  Stats.record_fence s ~site:(Stats.take_site ());
   spin (Atomic.get fence_spin)
 
 let flush_any (Any l) = flush l

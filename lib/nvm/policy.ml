@@ -28,7 +28,13 @@
    - [tagged] + [Tagged_word]: changed-representation wrappers
      (link-and-persist's clean bit, FliT's pending counter) that pair
      every stored value with a volatile tag and need the tag-tolerant
-     CAS. *)
+     CAS.
+
+   Every flush, fence and CAS a wrapper issues is attributed to a named
+   site ([Stats.set_site] immediately before the access): the site
+   naming convention is [<policy>:<point>], e.g. [izr:load],
+   [lp:mark_clean], [flit:racy_read], and the engine's own placements
+   are [nvt:*] (see [Nvt_core.Traversal.nvt_sites]). *)
 
 module type S = sig
   val name : string
@@ -120,16 +126,22 @@ module Tagged_word (M : Memory.S) = struct
      racing flusher or writer protocol touching only the tag), which
      would fail a naive CAS even though the value is unchanged;
      re-examine and retry in that case. [retag] maps the tag observed to
-     the tag the new value is installed with. *)
-  let rec cas l ~retag ~expected ~desired =
+     the tag the new value is installed with. [site] attributes every
+     underlying CAS attempt (including retries) to the wrapper's
+     instrumentation point; pass [Stats.app_site] when the CAS stands in
+     1:1 for the algorithm's own CAS. *)
+  let rec cas l ~site ~retag ~expected ~desired =
     let c = M.read l in
     if c.v != expected then false
-    else if M.cas l ~expected:c ~desired:{ v = desired; tag = retag c.tag }
-    then true
-    else
-      let c' = M.read l in
-      if c' != c && c'.v == expected then cas l ~retag ~expected ~desired
-      else false
+    else begin
+      if site != Stats.app_site then Stats.set_site site;
+      if M.cas l ~expected:c ~desired:{ v = desired; tag = retag c.tag }
+      then true
+      else
+        let c' = M.read l in
+        if c' != c && c'.v == expected then cas l ~site ~retag ~expected ~desired
+        else false
+    end
 end
 
 (* ------------------------------------------------------------------ *)

@@ -20,10 +20,30 @@ module Make (M : Memory.S) (P : Persist.Make(M).S) :
   Policy.Instrument
     (M)
     (struct
+      (* Attribution: tag only when the policy's flushes are real —
+         under [Volatile] the instruction is erased and a pending tag
+         would leak onto the next counted access. *)
+      let tag site = if P.enabled then Stats.set_site site
+
       let after_alloc _ = ()
-      let after_read = P.flush
-      let before_update = P.fence
-      let after_update = P.flush
-      let flush = P.flush
-      let fence = P.fence
+
+      let after_read l =
+        tag "nvt:crit_read";
+        P.flush l
+
+      let before_update () =
+        tag "nvt:crit_fence";
+        P.fence ()
+
+      let after_update l =
+        tag "nvt:crit_update";
+        P.flush l
+
+      let flush l =
+        tag "nvt:crit_flush";
+        P.flush l
+
+      let fence () =
+        tag "nvt:crit_fence";
+        P.fence ()
     end)

@@ -2,7 +2,22 @@
 
    The paper's cost analysis is driven by how many flushes and fences each
    transformation executes per operation; every backend counts them so that
-   benchmarks can report instruction mixes alongside throughput. *)
+   benchmarks can report instruction mixes alongside throughput.
+
+   Beyond the aggregates, flushes, fences and CAS are *attributed*: each
+   instrumentation layer names the site issuing the instruction (e.g.
+   [nvt:make_persistent], [izr:load], [flit:racy_read]) by setting the
+   pending site immediately before the access, and the backend consumes
+   that tag when it counts the instruction. Untagged instructions fall to
+   the [app] site (the algorithm's own shared accesses), so the per-site
+   table always sums exactly to the aggregate counters — the invariant
+   the attribution tests check under every policy. *)
+
+type site = {
+  mutable s_flushes : int;
+  mutable s_fences : int;
+  mutable s_cas : int;
+}
 
 type t = {
   mutable reads : int;
@@ -12,13 +27,19 @@ type t = {
   mutable flushes : int;
   mutable fences : int;
   mutable allocs : int;
+  site_table : (string, site) Hashtbl.t;
 }
 
 let zero () =
   { reads = 0; writes = 0; cas = 0; cas_failures = 0; flushes = 0;
-    fences = 0; allocs = 0 }
+    fences = 0; allocs = 0; site_table = Hashtbl.create 16 }
 
-let copy t = { t with reads = t.reads }
+let copy t =
+  let site_table = Hashtbl.create (Hashtbl.length t.site_table) in
+  Hashtbl.iter
+    (fun name s -> Hashtbl.add site_table name { s with s_flushes = s.s_flushes })
+    t.site_table;
+  { t with reads = t.reads; site_table }
 
 let reset t =
   t.reads <- 0;
@@ -27,7 +48,71 @@ let reset t =
   t.cas_failures <- 0;
   t.flushes <- 0;
   t.fences <- 0;
-  t.allocs <- 0
+  t.allocs <- 0;
+  Hashtbl.reset t.site_table
+
+(* ------------------------------------------------------------------ *)
+(* Site attribution                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let app_site = "app"
+
+(* The pending tag is per-domain: the simulator runs on one domain, and
+   the native backend's domains each tag their own accesses. A tag is
+   consumed by the next counted flush/fence/CAS in the same synchronous
+   call chain, so wrappers must set it immediately before each access
+   they claim — and an erased or skipped access must not leave a stale
+   tag behind (see [clear_site]). *)
+let pending : string ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref app_site)
+
+let set_site name = Domain.DLS.get pending := name
+
+let clear_site () = (Domain.DLS.get pending) := app_site
+
+let take_site () =
+  let p = Domain.DLS.get pending in
+  let s = !p in
+  if s != app_site then p := app_site;
+  s
+
+let site t name =
+  match Hashtbl.find_opt t.site_table name with
+  | Some s -> s
+  | None ->
+    let s = { s_flushes = 0; s_fences = 0; s_cas = 0 } in
+    Hashtbl.add t.site_table name s;
+    s
+
+let record_flush t ~site:name =
+  t.flushes <- t.flushes + 1;
+  let s = site t name in
+  s.s_flushes <- s.s_flushes + 1
+
+let record_fence t ~site:name =
+  t.fences <- t.fences + 1;
+  let s = site t name in
+  s.s_fences <- s.s_fences + 1
+
+let record_cas t ~site:name ~ok =
+  t.cas <- t.cas + 1;
+  if not ok then t.cas_failures <- t.cas_failures + 1;
+  let s = site t name in
+  s.s_cas <- s.s_cas + 1
+
+let site_total s = s.s_flushes + s.s_fences + s.s_cas
+
+let sites t =
+  Hashtbl.fold (fun name s acc -> (name, s) :: acc) t.site_table []
+  |> List.filter (fun (_, s) -> site_total s > 0)
+  |> List.sort (fun (na, a) (nb, b) ->
+         match compare (site_total b) (site_total a) with
+         | 0 -> compare na nb
+         | c -> c)
+
+(* ------------------------------------------------------------------ *)
+(* Arithmetic                                                          *)
+(* ------------------------------------------------------------------ *)
 
 let accumulate ~into t =
   into.reads <- into.reads + t.reads;
@@ -36,16 +121,41 @@ let accumulate ~into t =
   into.cas_failures <- into.cas_failures + t.cas_failures;
   into.flushes <- into.flushes + t.flushes;
   into.fences <- into.fences + t.fences;
-  into.allocs <- into.allocs + t.allocs
+  into.allocs <- into.allocs + t.allocs;
+  Hashtbl.iter
+    (fun name s ->
+      let d = site into name in
+      d.s_flushes <- d.s_flushes + s.s_flushes;
+      d.s_fences <- d.s_fences + s.s_fences;
+      d.s_cas <- d.s_cas + s.s_cas)
+    t.site_table
 
 let diff ~after ~before =
-  { reads = after.reads - before.reads;
-    writes = after.writes - before.writes;
-    cas = after.cas - before.cas;
-    cas_failures = after.cas_failures - before.cas_failures;
-    flushes = after.flushes - before.flushes;
-    fences = after.fences - before.fences;
-    allocs = after.allocs - before.allocs }
+  let d =
+    { reads = after.reads - before.reads;
+      writes = after.writes - before.writes;
+      cas = after.cas - before.cas;
+      cas_failures = after.cas_failures - before.cas_failures;
+      flushes = after.flushes - before.flushes;
+      fences = after.fences - before.fences;
+      allocs = after.allocs - before.allocs;
+      site_table = Hashtbl.create 16 }
+  in
+  Hashtbl.iter
+    (fun name a ->
+      let b =
+        match Hashtbl.find_opt before.site_table name with
+        | Some b -> b
+        | None -> { s_flushes = 0; s_fences = 0; s_cas = 0 }
+      in
+      let s =
+        { s_flushes = a.s_flushes - b.s_flushes;
+          s_fences = a.s_fences - b.s_fences;
+          s_cas = a.s_cas - b.s_cas }
+      in
+      if site_total s > 0 then Hashtbl.add d.site_table name s)
+    after.site_table;
+  d
 
 let total_shared_ops t = t.reads + t.writes + t.cas
 
@@ -53,3 +163,10 @@ let pp ppf t =
   Fmt.pf ppf
     "reads=%d writes=%d cas=%d cas_fail=%d flushes=%d fences=%d allocs=%d"
     t.reads t.writes t.cas t.cas_failures t.flushes t.fences t.allocs
+
+let pp_sites ppf t =
+  Fmt.pf ppf "@[<v>%a@]"
+    (Fmt.list ~sep:Fmt.cut (fun ppf (name, s) ->
+         Fmt.pf ppf "%-24s flushes=%-6d fences=%-6d cas=%-6d" name s.s_flushes
+           s.s_fences s.s_cas))
+    (sites t)

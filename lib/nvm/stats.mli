@@ -2,7 +2,20 @@
 
     Backends count shared-memory and persistence instructions so that the
     benchmark harness can report flush/fence mixes per operation — the
-    quantity the paper's analysis is built on. *)
+    quantity the paper's analysis is built on.
+
+    Flushes, fences and CAS are additionally attributed to named
+    {e sites}: an instrumentation layer tags the very next counted
+    access with {!set_site} (e.g. ["nvt:make_persistent"],
+    ["izr:load"], ["flit:racy_read"]); untagged accesses land on
+    {!app_site}. Every counted flush/fence/CAS goes to exactly one
+    site, so the site table always sums to the aggregate counters. *)
+
+type site = {
+  mutable s_flushes : int;
+  mutable s_fences : int;
+  mutable s_cas : int;  (** CAS attempts, successful or not *)
+}
 
 type t = {
   mutable reads : int;
@@ -12,22 +25,59 @@ type t = {
   mutable flushes : int;
   mutable fences : int;
   mutable allocs : int;
+  site_table : (string, site) Hashtbl.t;
 }
 
 val zero : unit -> t
-(** A fresh counter record with all fields zero. *)
+(** A fresh counter record with all fields zero and no sites. *)
 
 val copy : t -> t
 
 val reset : t -> unit
 
 val accumulate : into:t -> t -> unit
-(** [accumulate ~into t] adds every field of [t] into [into]. *)
+(** [accumulate ~into t] adds every field (and site) of [t] into
+    [into]. *)
 
 val diff : after:t -> before:t -> t
-(** Field-wise subtraction, for measuring a window of execution. *)
+(** Field-wise (and site-wise) subtraction, for measuring a window of
+    execution. *)
 
 val total_shared_ops : t -> int
 (** Reads + writes + CAS attempts. *)
 
+(** {1 Site attribution}
+
+    The pending tag is per-domain and consumed by the next counted
+    flush/fence/CAS in the same synchronous call chain. A wrapper must
+    set it immediately before each access it claims; a wrapper whose
+    access may be elided (a clean-line flush, an erased policy) must
+    {!clear_site} instead so the tag cannot leak onto an unrelated
+    later access. *)
+
+val app_site : string
+(** The default site, ["app"]: the algorithm's own shared accesses. *)
+
+val set_site : string -> unit
+(** Tag the next counted flush/fence/CAS on this domain. *)
+
+val clear_site : unit -> unit
+(** Drop any pending tag (back to {!app_site}). *)
+
+val take_site : unit -> string
+(** Consume and return the pending tag (backends call this exactly once
+    per counted flush/fence/CAS). *)
+
+val record_flush : t -> site:string -> unit
+val record_fence : t -> site:string -> unit
+
+val record_cas : t -> site:string -> ok:bool -> unit
+(** Count one CAS attempt (a failure too when [not ok]) under [site]. *)
+
+val sites : t -> (string * site) list
+(** All sites with at least one counted access, heaviest first. *)
+
 val pp : Format.formatter -> t -> unit
+
+val pp_sites : Format.formatter -> t -> unit
+(** One line per site: flushes, fences, CAS. *)

@@ -12,14 +12,41 @@
 
    The scenario callback receives a fresh machine, spawns its threads,
    and returns a [check] run after the schedule completes; [check]
-   raises (or returns false) to report a violation. *)
+   raises (or returns false) to report a violation.
+
+   Failure taxonomy (the explorer must never silently misreport):
+   - [check] returning false, or raising → a {!violation}, carrying the
+     schedule trace so the failing plan is reproducible and the
+     exception text so a crashing check is distinguishable from a
+     property violation;
+   - anything going wrong *outside* the check (a crash trigger left
+     armed, a corrupt read, a harness bug raising [Invalid_argument])
+     → a per-plan entry in {!outcome.errors}; one bad plan does not
+     abort the enumeration and is never counted as a violation;
+   - [Out_of_memory] and [Stack_overflow] are resource exhaustion, not
+     verdicts: always re-raised. *)
+
+type trace_entry = { step : int; runnable : int list; chosen : int }
+
+type violation = {
+  plan : (int * int) list;  (* the (step, tid) preemptions that failed *)
+  trace : trace_entry list;  (* the full schedule, for replay *)
+  error : string option;  (* [Some text] when the check raised *)
+}
 
 type outcome = {
   runs : int;  (* schedules executed *)
-  violations : (int * int) list list;  (* plans that failed *)
+  violations : violation list;
+  errors : ((int * int) list * string) list;
+      (* plans whose run failed outside the check *)
 }
 
-type trace_entry = { step : int; runnable : int list; chosen : int }
+type run_result =
+  | Pass of trace_entry list
+  | Fail of trace_entry list * string option
+  | Broken of string
+
+let fatal = function Out_of_memory | Stack_overflow -> true | _ -> false
 
 let run_plan ~scenario ~plan =
   let m = Machine.create ~seed:0 ~cost:Nvt_nvm.Cost_model.free () in
@@ -36,12 +63,21 @@ let run_plan ~scenario ~plan =
       last := chosen;
       trace := { step; runnable; chosen } :: !trace;
       chosen);
-  let check = scenario m in
-  (match Machine.run m with
-  | Machine.Completed -> ()
-  | Machine.Crashed_at _ -> failwith "Explore: unexpected crash");
-  let ok = check () in
-  (ok, List.rev !trace)
+  let trace_now () = List.rev !trace in
+  match
+    let check = scenario m in
+    match Machine.run m with
+    | Machine.Completed -> (
+      match check () with
+      | true -> Pass (trace_now ())
+      | false -> Fail (trace_now (), None)
+      | exception e when not (fatal e) ->
+        Fail (trace_now (), Some (Printexc.to_string e)))
+    | Machine.Crashed_at t ->
+      Broken (Printf.sprintf "unexpected crash at virtual time %d" t)
+  with
+  | result -> result
+  | exception e when not (fatal e) -> Broken (Printexc.to_string e)
 
 (* Child plans extend [plan] with one extra preemption strictly after
    its last one. *)
@@ -61,17 +97,19 @@ let children plan trace =
 let preemption_bounded ?(bound = 2) ?(max_runs = 20_000) scenario =
   let runs = ref 0 in
   let violations = ref [] in
+  let errors = ref [] in
   let queue = Queue.create () in
   Queue.add [] queue;
   while (not (Queue.is_empty queue)) && !runs < max_runs do
     let plan = Queue.take queue in
     incr runs;
-    let ok, trace =
-      try run_plan ~scenario ~plan
-      with _ -> (false, [])
-    in
-    if not ok then violations := plan :: !violations
-    else if List.length plan < bound then
-      List.iter (fun p -> Queue.add p queue) (children plan trace)
+    match run_plan ~scenario ~plan with
+    | Pass trace ->
+      if List.length plan < bound then
+        List.iter (fun p -> Queue.add p queue) (children plan trace)
+    | Fail (trace, error) -> violations := { plan; trace; error } :: !violations
+    | Broken msg -> errors := (plan, msg) :: !errors
   done;
-  { runs = !runs; violations = List.rev !violations }
+  { runs = !runs;
+    violations = List.rev !violations;
+    errors = List.rev !errors }

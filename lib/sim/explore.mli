@@ -7,11 +7,32 @@
     this is a strong, deterministic complement to seeded random
     schedules. *)
 
+type trace_entry = {
+  step : int;  (** simulator step at which the scheduler ran *)
+  runnable : int list;  (** tids that were runnable at that step *)
+  chosen : int;  (** the tid the plan (or default policy) picked *)
+}
+
+type violation = {
+  plan : (int * int) list;
+      (** the failing plan: (step, tid) preemptions — replay one by
+          passing it back to the scheduler hook *)
+  trace : trace_entry list;
+      (** the complete schedule of the failing run, for replay/debugging *)
+  error : string option;
+      (** [None] when the check returned [false]; [Some text] when it
+          raised, so a crashing check is distinguishable from a plain
+          property violation *)
+}
+
 type outcome = {
   runs : int;  (** schedules executed *)
-  violations : (int * int) list list;
-      (** failing plans, each a list of (step, tid) preemptions — replay
-          one by passing it to the scheduler hook *)
+  violations : violation list;
+  errors : ((int * int) list * string) list;
+      (** plans whose run broke *outside* the check (unexpected machine
+          crash, scenario exception): reported per-plan instead of
+          aborting or being silently counted as "no violation".
+          [Out_of_memory] and [Stack_overflow] are always re-raised. *)
 }
 
 val preemption_bounded :

@@ -65,6 +65,23 @@ type thread = {
 
 type outcome = Completed | Crashed_at of int
 
+(* A bounded event trace: when enabled, the machine records one event
+   per write/flush/fence/eviction/crash into a ring buffer, so tests and
+   [nvtsim --trace] can inspect *which* instructions ran around a point
+   of interest without paying for an unbounded log. Flush and fence
+   events carry the attribution site consumed by the counter. *)
+type event =
+  | Ev_write of { step : int; tid : int; cid : int }
+  | Ev_flush of { step : int; tid : int; cid : int; site : string }
+  | Ev_fence of { step : int; tid : int; site : string }
+  | Ev_evict of { step : int; cid : int }
+  | Ev_crash of { step : int; time : int }
+
+type tracer = {
+  ring : event option array;
+  mutable total : int;  (* events ever recorded; ring keeps the tail *)
+}
+
 type stall = {
   probability : float;  (* per scheduling step *)
   max_units : int;  (* stall duration drawn uniformly from [1, max] *)
@@ -95,6 +112,7 @@ type t = {
          thread; used by the systematic explorer. Default: least virtual
          time. *)
   stats : Stats.t;
+  mutable tracer : tracer option;
 }
 
 type _ Effect.t += Yield : unit Effect.t
@@ -120,7 +138,8 @@ let create ?(seed = 0) ?(cost = Cost_model.nvram) ?(eviction = No_eviction)
       crash_at_time = None;
       crash_at_step = None;
       scheduler = None;
-      stats = Stats.zero () }
+      stats = Stats.zero ();
+      tracer = None }
   in
   current_machine := Some m;
   m
@@ -140,6 +159,45 @@ let makespan m = m.clock
 let current_tid m = match m.running with Some th -> th.tid | None -> -1
 
 let now m = match m.running with Some th -> th.vtime | None -> m.clock
+
+let set_trace m ~capacity =
+  m.tracer <- Some { ring = Array.make (max 1 capacity) None; total = 0 }
+
+let clear_trace m = m.tracer <- None
+
+let record_event m e =
+  match m.tracer with
+  | None -> ()
+  | Some tr ->
+    tr.ring.(tr.total mod Array.length tr.ring) <- Some e;
+    tr.total <- tr.total + 1
+
+let trace m =
+  match m.tracer with
+  | None -> []
+  | Some tr ->
+    let cap = Array.length tr.ring in
+    let n = min tr.total cap in
+    List.filter_map
+      (fun i -> tr.ring.((tr.total - n + i) mod cap))
+      (List.init n Fun.id)
+
+let trace_dropped m =
+  match m.tracer with
+  | None -> 0
+  | Some tr -> max 0 (tr.total - Array.length tr.ring)
+
+let pp_event ppf = function
+  | Ev_write { step; tid; cid } ->
+    Fmt.pf ppf "step %-6d t%d write  cell %d" step tid cid
+  | Ev_flush { step; tid; cid; site } ->
+    Fmt.pf ppf "step %-6d t%d flush  cell %d [%s]" step tid cid site
+  | Ev_fence { step; tid; site } ->
+    Fmt.pf ppf "step %-6d t%d fence  [%s]" step tid site
+  | Ev_evict { step; cid } ->
+    Fmt.pf ppf "step %-6d    evict  cell %d" step cid
+  | Ev_crash { step; time } ->
+    Fmt.pf ppf "step %-6d    CRASH  at time %d" step time
 
 let set_crash_at_time m t = m.crash_at_time <- Some t
 let set_crash_at_step m n = m.crash_at_step <- Some n
@@ -231,6 +289,7 @@ let write c v =
   (* overwriting a corrupted cell redefines its contents *)
   c.corrupt <- false;
   m.stats.writes <- m.stats.writes + 1;
+  record_event m (Ev_write { step = m.steps; tid = current_tid m; cid = c.cid });
   let me = current_tid m in
   if c.owner <> me then charge m m.cost.read_miss;
   c.owner <- me;
@@ -243,25 +302,29 @@ let write c v =
 let cas c ~expected ~desired =
   let m = get () in
   check_corrupt c;
-  m.stats.cas <- m.stats.cas + 1;
+  let site = Stats.take_site () in
   let me = current_tid m in
   if c.owner <> me then charge m m.cost.read_miss;
   c.owner <- me;
   c.invalid <- false;
   charge m m.cost.cas;
   let ok = c.vol == expected in
+  Stats.record_cas m.stats ~site ~ok;
   if ok then begin
     c.vol <- desired;
-    mark_dirty m c
-  end
-  else m.stats.cas_failures <- m.stats.cas_failures + 1;
+    mark_dirty m c;
+    record_event m (Ev_write { step = m.steps; tid = me; cid = c.cid })
+  end;
   yield m;
   ok
 
 let flush c =
   let m = get () in
   check_corrupt c;
-  m.stats.flushes <- m.stats.flushes + 1;
+  let site = Stats.take_site () in
+  Stats.record_flush m.stats ~site;
+  record_event m
+    (Ev_flush { step = m.steps; tid = current_tid m; cid = c.cid; site });
   let v = c.vol in
   if m.cost.flush_invalidates then c.invalid <- true;
   if cell_is_clean c then
@@ -282,7 +345,9 @@ let flush c =
 
 let fence () =
   let m = get () in
-  m.stats.fences <- m.stats.fences + 1;
+  let site = Stats.take_site () in
+  Stats.record_fence m.stats ~site;
+  record_event m (Ev_fence { step = m.steps; tid = current_tid m; site });
   (match m.running with
   | Some th ->
     charge m
@@ -355,15 +420,19 @@ let maybe_evict m =
         let j = ref 0 in
         (try
            Hashtbl.iter
-             (fun _ e ->
+             (fun cid e ->
                if !j = i then begin
-                 picked := Some e;
+                 picked := Some (cid, e);
                  raise Exit
                end;
                incr j)
              m.dirty
          with Exit -> ());
-        match !picked with Some e -> e.persist_now () | None -> ()
+        match !picked with
+        | Some (cid, e) ->
+          record_event m (Ev_evict { step = m.steps; cid });
+          e.persist_now ()
+        | None -> ()
       end
     end
 
@@ -429,6 +498,7 @@ let run m =
       if crash_due m th then begin
         let t = th.vtime in
         m.clock <- max m.clock t;
+        record_event m (Ev_crash { step = m.steps; time = t });
         crash m;
         m.crash_at_time <- None;
         m.crash_at_step <- None;

@@ -36,6 +36,17 @@ type 'a cell
 
 type outcome = Completed | Crashed_at of int
 
+(** One entry of the bounded event trace (see {!set_trace}). Flush and
+    fence events carry the attribution site consumed by the counters
+    (see {!Nvt_nvm.Stats.set_site}); a successful CAS records a write
+    event. *)
+type event =
+  | Ev_write of { step : int; tid : int; cid : int }
+  | Ev_flush of { step : int; tid : int; cid : int; site : string }
+  | Ev_fence of { step : int; tid : int; site : string }
+  | Ev_evict of { step : int; cid : int }
+  | Ev_crash of { step : int; time : int }
+
 type t
 
 val create :
@@ -96,6 +107,24 @@ val makespan : t -> int
 
 val stats : t -> Nvt_nvm.Stats.t
 val dirty_count : t -> int
+
+(** {1 Event trace} *)
+
+val set_trace : t -> capacity:int -> unit
+(** Start recording write/flush/fence/evict/crash events into a ring of
+    the given capacity; only the most recent [capacity] events are
+    kept. Off by default — tracing costs one array store per shared
+    access. *)
+
+val clear_trace : t -> unit
+
+val trace : t -> event list
+(** The recorded events, oldest first (at most the trace capacity). *)
+
+val trace_dropped : t -> int
+(** How many events were evicted from the ring since {!set_trace}. *)
+
+val pp_event : Format.formatter -> event -> unit
 
 val persist_all : t -> unit
 (** Persist every dirty cell immediately; call after pre-filling so runs

@@ -58,13 +58,22 @@ let explore_structure name (module S : SET) () =
         Explore.preemption_bounded ~bound:2 ~max_runs:5000
           (scenario (module S) a b)
       in
+      (match r.Explore.errors with
+      | [] -> ()
+      | (_, msg) :: _ ->
+        Alcotest.failf "%s: %s || %s: %d plan(s) broke outside the check: %s"
+          name (pp_op a) (pp_op b)
+          (List.length r.Explore.errors)
+          msg);
       match r.Explore.violations with
       | [] -> ()
-      | plan :: _ ->
-        Alcotest.failf "%s: %s || %s not linearizable under plan [%s] (%d runs)"
-          name (pp_op a) (pp_op b)
+      | { Explore.plan; error; _ } :: _ ->
+        Alcotest.failf
+          "%s: %s || %s not linearizable under plan [%s]%s (%d runs)" name
+          (pp_op a) (pp_op b)
           (String.concat "; "
              (List.map (fun (s, t) -> Printf.sprintf "%d->t%d" s t) plan))
+          (match error with None -> "" | Some e -> " (check raised: " ^ e ^ ")")
           r.Explore.runs)
     pairs
 
@@ -107,14 +116,100 @@ let explorer_finds_races () =
     Explore.preemption_bounded ~bound:1 ~max_runs:5000
       (scenario (module Racy_set) (I 3) (I 3))
   in
-  if r.Explore.violations = [] then
-    Alcotest.failf
-      "explorer missed the seeded insert/insert race in %d runs"
+  match r.Explore.violations with
+  | [] ->
+    Alcotest.failf "explorer missed the seeded insert/insert race in %d runs"
       r.Explore.runs
+  | v :: _ ->
+    (* The violation must be replayable: a non-empty schedule trace whose
+       chosen tids were all runnable when picked. *)
+    if v.Explore.trace = [] then
+      Alcotest.fail "violation carries an empty schedule trace";
+    List.iter
+      (fun { Explore.runnable; chosen; _ } ->
+        if not (List.mem chosen runnable) then
+          Alcotest.failf "trace chose t%d which was not runnable" chosen)
+      v.Explore.trace;
+    if v.Explore.error <> None then
+      Alcotest.fail "a check returning false must carry no exception text"
+
+(* Regression: the explorer used to catch *every* exception from a run
+   with [try ... with _ -> (false, [])], silently converting crashed
+   checks and harness bugs into "no violation". *)
+
+exception Check_blew_up
+
+let contains needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let check_exception_is_reported () =
+  let scenario m =
+    let l = Sim_mem.alloc 0 in
+    ignore (Machine.spawn m (fun () -> Sim_mem.write l 1));
+    ignore (Machine.spawn m (fun () -> Sim_mem.write l 2));
+    fun () -> raise Check_blew_up
+  in
+  let r = Explore.preemption_bounded ~bound:1 ~max_runs:100 scenario in
+  match r.Explore.violations with
+  | [] ->
+    Alcotest.failf
+      "a raising check was swallowed: %d runs, no violation reported"
+      r.Explore.runs
+  | v :: _ -> (
+    match v.Explore.error with
+    | Some msg when contains "Check_blew_up" msg -> ()
+    | Some msg ->
+      Alcotest.failf "violation carries the wrong exception text: %s" msg
+    | None ->
+      Alcotest.fail "raising check reported as a plain [false] violation")
+
+(* Regression: a scenario whose run crashes the machine (or raises
+   outside the check) used to abort the whole enumeration with
+   [failwith]; it must instead surface as a per-plan structured error
+   and let other plans continue. *)
+let broken_scenario_is_structured_error () =
+  let scenario m =
+    let l = Sim_mem.alloc 0 in
+    Machine.set_crash_at_step m (Machine.steps m + 2);
+    ignore (Machine.spawn m (fun () -> Sim_mem.write l 1));
+    ignore (Machine.spawn m (fun () -> Sim_mem.write l 2));
+    fun () -> true
+  in
+  let r =
+    match Explore.preemption_bounded ~bound:1 ~max_runs:50 scenario with
+    | r -> r
+    | exception e ->
+      Alcotest.failf "a crashing plan aborted the enumeration: %s"
+        (Printexc.to_string e)
+  in
+  if r.Explore.errors = [] then
+    Alcotest.failf "machine crash during exploration went unreported (%d runs)"
+      r.Explore.runs;
+  if r.Explore.violations <> [] then
+    Alcotest.fail "a broken run must not be counted as a violation";
+  if r.Explore.runs < 1 then Alcotest.fail "no runs recorded"
+
+(* Resource exhaustion is never a verdict: the explorer must re-raise. *)
+let oom_propagates () =
+  let scenario m =
+    let l = Sim_mem.alloc 0 in
+    ignore (Machine.spawn m (fun () -> Sim_mem.write l 1));
+    fun () -> raise Out_of_memory
+  in
+  match Explore.preemption_bounded ~bound:1 ~max_runs:10 scenario with
+  | _ -> Alcotest.fail "Out_of_memory was swallowed by the explorer"
+  | exception Out_of_memory -> ()
 
 let suite =
   [ Alcotest.test_case "explorer finds a seeded race" `Quick
       explorer_finds_races;
+    Alcotest.test_case "raising check is reported, not swallowed" `Quick
+      check_exception_is_reported;
+    Alcotest.test_case "machine crash becomes a per-plan error" `Quick
+      broken_scenario_is_structured_error;
+    Alcotest.test_case "Out_of_memory propagates" `Quick oom_propagates;
     Alcotest.test_case "harris list" `Quick
       (explore_structure "harris" (module Hl.Durable));
     Alcotest.test_case "ellen bst" `Quick
