@@ -6,6 +6,7 @@
                                    extension benches
    bench/main.exe micro            Bechamel per-op latency (native)
    bench/main.exe native           domain throughput (native)
+   bench/main.exe selfperf         simulator steps/sec (harness cost)
 
    Running with no command is equivalent to `panels` followed by every
    extension bench — the full regeneration of the paper's evaluation. *)
@@ -59,6 +60,22 @@ let native_cmd =
     (Cmd.info "native" ~doc:"Real-domain throughput, native backend")
     Term.(const Native_bench.run $ const ())
 
+let quick =
+  Arg.(
+    value & flag
+    & info [ "quick" ] ~doc:"Reduced sweep and op count (CI-sized).")
+
+let run_selfperf quick seed json =
+  Selfperf.run
+    ?json_path:(if json then Some "BENCH_selfperf.json" else None)
+    ~quick ~seed ()
+
+let selfperf_cmd =
+  Cmd.v
+    (Cmd.info "selfperf"
+       ~doc:"Simulated steps per wall second across thread counts")
+    Term.(const run_selfperf $ quick $ seed $ json)
+
 let default = Term.(const run_panels $ panel_ids $ full $ seed $ json)
 
 let () =
@@ -74,4 +91,5 @@ let () =
             ext_cmd "sensitivity" "Throughput vs fence cost";
             ext_cmd "mix" "Flush/fence counts per operation";
             micro_cmd;
-            native_cmd ]))
+            native_cmd;
+            selfperf_cmd ]))

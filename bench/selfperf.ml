@@ -1,0 +1,173 @@
+(* Self-benchmark of the simulator: simulated steps per wall-clock
+   second, swept over thread counts and structures.
+
+   Every figure panel's cost is (steps of simulation) x (wall time per
+   step), and the second factor is pure harness overhead — the
+   scheduler, the dirty-cell tracking, the effect-handler fiber switch.
+   This bench pins that factor so scheduler regressions show up in the
+   perf trajectory rather than silently inflating CI time. Steps/sec is
+   the right metric (not ops/sec): it is what the scheduler rewrite
+   changes, and it is comparable across structures whose per-operation
+   step counts differ.
+
+   Three panels:
+   - [list]: Harris list under the nvt policy, 30% updates — the
+     workhorse workload of the figure panels;
+   - [hash]: hash table under the nvt policy, 30% updates — near-O(1)
+     operations, so more of each step is harness;
+   - [evict]: Harris list, write-only mix with the random-eviction
+     adversary on — exercises the dirty-set tracking (the crashlab
+     configuration).
+
+   The sweep extends past the panels' 1–64 threads to 128 because the
+   pre-rewrite scheduler cost O(threads) per step: the top of the sweep
+   is where a regression back to linear scanning is unmissable. Each
+   configuration reports the best of [reps] runs — the simulator is
+   deterministic, so variation is machine noise and the minimum is the
+   honest estimate. *)
+
+module Machine = Nvt_sim.Machine
+module Cost_model = Nvt_nvm.Cost_model
+module I = Nvt_harness.Instances
+module Workload = Nvt_workload.Workload
+module Json = Nvt_harness.Json
+
+type row = {
+  panel : string;
+  threads : int;
+  steps : int;
+  seconds : float;
+  steps_per_sec : float;
+}
+
+type panel = {
+  p_name : string;
+  p_structure : string;  (* key in the Instances registry *)
+  p_update_pct : int;
+  p_eviction : float;  (* 0.0 = adversary off *)
+}
+
+let panels =
+  [ { p_name = "list"; p_structure = "list"; p_update_pct = 30;
+      p_eviction = 0.0 };
+    { p_name = "hash"; p_structure = "hash"; p_update_pct = 30;
+      p_eviction = 0.0 };
+    { p_name = "evict"; p_structure = "list"; p_update_pct = 100;
+      p_eviction = 0.05 } ]
+
+let structure key =
+  match List.assoc_opt key I.structures with
+  | Some s -> s
+  | None -> invalid_arg ("selfperf: unknown structure " ^ key)
+
+let nvt_policy =
+  match I.flavour "nvt" with
+  | Some f -> f.I.policy
+  | None -> invalid_arg "selfperf: nvt policy missing from registry"
+
+(* One measured run: prefill, spawn, time Machine.run. Returns (steps,
+   wall seconds). *)
+let measure ~seed ~range ~total_ops (p : panel) ~threads =
+  let module S = (val I.instantiate (structure p.p_structure) nvt_policy) in
+  let eviction =
+    if p.p_eviction > 0.0 then Machine.Random_eviction p.p_eviction
+    else Machine.No_eviction
+  in
+  let m = Machine.create ~seed ~cost:Cost_model.nvram ~eviction ~jitter:2 () in
+  let s = S.create () in
+  List.iter
+    (fun k -> if k < range then ignore (S.insert s ~key:k ~value:k))
+    (Workload.prefill_keys ~range);
+  Machine.persist_all m;
+  let base = total_ops / threads in
+  let rem = total_ops mod threads in
+  let mix = Workload.updates ~pct:p.p_update_pct in
+  for tid = 0 to threads - 1 do
+    let per_thread = base + if tid < rem then 1 else 0 in
+    let g = Workload.gen ~seed:((seed * 977) + tid) ~mix ~range in
+    if per_thread > 0 then
+      ignore
+        (Machine.spawn m (fun () ->
+             for _ = 1 to per_thread do
+               match Workload.next g with
+               | Workload.Insert k -> ignore (S.insert s ~key:k ~value:k)
+               | Workload.Delete k -> ignore (S.delete s k)
+               | Workload.Lookup k -> ignore (S.member s k)
+             done))
+  done;
+  let t0 = Unix.gettimeofday () in
+  (match Machine.run m with
+  | Machine.Completed -> ()
+  | Machine.Crashed_at _ -> assert false);
+  let dt = Unix.gettimeofday () -. t0 in
+  (Machine.steps m, dt)
+
+let run ?json_path ?(quick = false) ?(seed = 1) () =
+  let thread_counts =
+    if quick then [ 1; 8; 32; 64 ]
+    else [ 1; 2; 4; 8; 16; 32; 48; 64; 96; 128 ]
+  in
+  let total_ops = if quick then 6_000 else 40_000 in
+  let reps = if quick then 1 else 3 in
+  let range = 256 in
+  Printf.printf
+    "simulator self-benchmark (%s): simulated steps per wall second\n\
+     %-8s %8s %12s %10s %14s\n"
+    (if quick then "quick" else "full")
+    "panel" "threads" "steps" "seconds" "steps/sec";
+  let rows =
+    List.concat_map
+      (fun p ->
+        List.map
+          (fun threads ->
+            let best = ref None in
+            for _ = 1 to reps do
+              let steps, dt = measure ~seed ~range ~total_ops p ~threads in
+              match !best with
+              | Some (_, dt') when dt' <= dt -> ()
+              | _ -> best := Some (steps, dt)
+            done;
+            let steps, seconds = Option.get !best in
+            let steps_per_sec = float_of_int steps /. seconds in
+            Printf.printf "%-8s %8d %12d %10.3f %14.3e\n%!" p.p_name threads
+              steps seconds steps_per_sec;
+            { panel = p.p_name; threads; steps; seconds; steps_per_sec })
+          thread_counts)
+      panels
+  in
+  (match json_path with
+  | None -> ()
+  | Some path ->
+    let json =
+      Json.Obj
+        [ ("schema", Json.Str "nvtraverse-selfperf/1");
+          ("quick", Json.Bool quick);
+          ("seed", Json.Int seed);
+          ("total_ops", Json.Int total_ops);
+          ("range", Json.Int range);
+          ("reps", Json.Int reps);
+          ( "panels",
+            Json.List
+              (List.map
+                 (fun (p : panel) ->
+                   Json.Obj
+                     [ ("panel", Json.Str p.p_name);
+                       ("structure", Json.Str p.p_structure);
+                       ("policy", Json.Str "nvt");
+                       ("update_pct", Json.Int p.p_update_pct);
+                       ("eviction", Json.Float p.p_eviction) ])
+                 panels) );
+          ( "rows",
+            Json.List
+              (List.map
+                 (fun r ->
+                   Json.Obj
+                     [ ("panel", Json.Str r.panel);
+                       ("threads", Json.Int r.threads);
+                       ("steps", Json.Int r.steps);
+                       ("seconds", Json.Float r.seconds);
+                       ("steps_per_sec", Json.Float r.steps_per_sec) ])
+                 rows) ) ]
+    in
+    Json.write_file path json;
+    Printf.printf "wrote %s\n%!" path)

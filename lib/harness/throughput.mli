@@ -9,11 +9,13 @@ type params = {
   threads : int;
   range : int;
   mix : Nvt_workload.Workload.mix;
-  total_ops : int;  (** split across threads *)
+  total_ops : int;
+      (** split across threads: exactly this many operations run, the
+          remainder spread one-each over the first threads *)
 }
 
 type result = {
-  ops : int;
+  ops : int;  (** operations actually executed: equals [total_ops] *)
   makespan : int;  (** virtual time *)
   mops : float;  (** ops per 1e6 simulated time units *)
   flushes_per_op : float;

@@ -51,6 +51,17 @@ module type S = sig
   val flush_any : any -> unit
 end
 
+(* Reclamation feedback: the memory-reclamation layer reports how many
+   nodes it physically freed, and a backend with a working-set model
+   (the simulator's capacity-miss probability) subscribes to shrink its
+   live-line estimate accordingly. Without this, cells ever allocated
+   would count as cache pressure forever, monotonically inflating the
+   read-miss probability of delete-heavy workloads. The native backend
+   leaves the hook at its no-op default. *)
+let on_reclaim : (int -> unit) ref = ref (fun _ -> ())
+
+let reclaimed n = if n > 0 then !on_reclaim n
+
 (* A second signature for backends that also expose their counters; the
    wrappers below only need [S]. *)
 module type BACKEND = sig

@@ -84,6 +84,9 @@ module Make (M : Nvt_nvm.Memory.S) = struct
           n := !n + List.length thunks)
         t.limbo;
       if !n > 0 then bump t.freed !n;
+      (* shrink the backend's working-set estimate: these nodes no
+         longer compete for cache capacity *)
+      Nvt_nvm.Memory.reclaimed !n;
       Some !n
     end
     else None

@@ -74,6 +74,9 @@ module Make (M : Nvt_nvm.Memory.S) = struct
     in
     List.iter (fun r -> r.free ()) free;
     if free <> [] then bump t.freed_total (List.length free);
+    (* shrink the backend's working-set estimate: these nodes no longer
+       compete for cache capacity *)
+    Nvt_nvm.Memory.reclaimed (List.length free);
     if keep <> [] then begin
       let rec put () =
         let cur = M.read mine in

@@ -1,0 +1,74 @@
+(* An array-backed set with O(1) add, O(1) removal and O(1) uniform
+   random choice — the machine's dirty-cell table.
+
+   Elements store their own slot index (an intrusive set): membership is
+   a field read, removal swaps the last element into the vacated slot,
+   and the eviction adversary picks a victim by indexing, where the old
+   Hashtbl-based table paid an O(size) [Hashtbl.iter] walk per eviction
+   and allocated two closures per [mark_dirty].
+
+   An element may belong to at most one set at a time — the index field
+   is the membership. *)
+
+module type ELT = sig
+  type elt
+
+  val index : elt -> int
+  (** The element's current slot, or -1 when in no set. *)
+
+  val set_index : elt -> int -> unit
+
+  val dummy : elt
+  (** Fills vacated array slots so removed elements are not retained. *)
+end
+
+module Make (E : ELT) = struct
+  type t = { mutable slots : E.elt array; mutable size : int }
+
+  let create () = { slots = Array.make 64 E.dummy; size = 0 }
+
+  let size t = t.size
+  let mem e = E.index e >= 0
+
+  let add t e =
+    if E.index e < 0 then begin
+      if t.size >= Array.length t.slots then begin
+        let b = Array.make (2 * Array.length t.slots) E.dummy in
+        Array.blit t.slots 0 b 0 t.size;
+        t.slots <- b
+      end;
+      t.slots.(t.size) <- e;
+      E.set_index e t.size;
+      t.size <- t.size + 1
+    end
+
+  let remove t e =
+    let i = E.index e in
+    if i >= 0 then begin
+      let last = t.size - 1 in
+      if i < last then begin
+        let moved = t.slots.(last) in
+        t.slots.(i) <- moved;
+        E.set_index moved i
+      end;
+      t.slots.(last) <- E.dummy;
+      E.set_index e (-1);
+      t.size <- last
+    end
+
+  let get t i =
+    if i < 0 || i >= t.size then invalid_arg "Dirty_set.get: out of bounds";
+    t.slots.(i)
+
+  let iter f t =
+    for i = 0 to t.size - 1 do
+      f t.slots.(i)
+    done
+
+  let clear t =
+    for i = 0 to t.size - 1 do
+      E.set_index t.slots.(i) (-1);
+      t.slots.(i) <- E.dummy
+    done;
+    t.size <- 0
+end

@@ -1,0 +1,43 @@
+(** An array-backed intrusive set with O(1) add, O(1) swap-remove and
+    O(1) random indexing — the machine's dirty-cell table. Elements
+    carry their own slot index; an element belongs to at most one set
+    at a time. See {!Machine}'s eviction adversary, which picks a
+    uniformly random victim by index where the old Hashtbl table walked
+    its buckets. *)
+
+module type ELT = sig
+  type elt
+
+  val index : elt -> int
+  (** The element's current slot, or -1 when in no set. *)
+
+  val set_index : elt -> int -> unit
+
+  val dummy : elt
+  (** Fills vacated array slots so removed elements are not retained. *)
+end
+
+module Make (E : ELT) : sig
+  type t
+
+  val create : unit -> t
+  val size : t -> int
+
+  val mem : E.elt -> bool
+  (** Membership is the element's own index field. *)
+
+  val add : t -> E.elt -> unit
+  (** No-op if the element is already in a set. *)
+
+  val remove : t -> E.elt -> unit
+  (** Swap-remove; no-op if the element is in no set. *)
+
+  val get : t -> int -> E.elt
+  (** The element at slot [i], [0 <= i < size] — uniform random choice
+      is [get t (Random.int (size t))]. *)
+
+  val iter : (E.elt -> unit) -> t -> unit
+
+  val clear : t -> unit
+  (** Empty the set, resetting every member's index to -1. *)
+end

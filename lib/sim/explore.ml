@@ -52,6 +52,10 @@ let run_plan ~scenario ~plan =
   let m = Machine.create ~seed:0 ~cost:Nvt_nvm.Cost_model.free () in
   let trace = ref [] in
   let last = ref (-1) in
+  (* The override must return a member of [runnable] (the heap's tids in
+     ascending order): the machine raises [Invalid_argument] on any
+     other tid, which lands in {!outcome.errors} below — a buggy plan
+     can not read as a clean completion with threads still suspended. *)
   Machine.set_scheduler m (fun m runnable ->
       let step = Machine.steps m in
       let chosen =

@@ -2,8 +2,12 @@
 
    Threads are cooperative fibers (effect handlers) preempted at every
    shared-memory access; the scheduler always resumes the runnable thread
-   with the least accumulated virtual time, so execution is a faithful
-   discrete-event simulation of parallel threads under the cost model.
+   with the least accumulated virtual time (ties to the lowest tid), so
+   execution is a faithful discrete-event simulation of parallel threads
+   under the cost model. The runnable threads live in an indexed min-heap
+   ({!Sched_heap}) keyed on (vtime, tid): this scheduler runs at every
+   shared-memory step of every benchmark panel, so its cost is the floor
+   on simulation speed — see bench/selfperf.ml.
 
    Every shared mutable word is a [cell] holding both a volatile value
    (what reads and writes touch) and a persistent value (what survives a
@@ -40,13 +44,32 @@ type 'a cell = {
   mutable corrupt : bool;
   mutable owner : int;  (* last writer's tid; -1 when shared *)
   mutable invalid : bool;  (* flushed out of the cache; next read misses *)
-  mutable in_dirty : bool;  (* registered in the machine's dirty table *)
+  mutable dirty_ix : int;  (* slot in the machine's dirty set; -1 if clean *)
 }
 
-type dirty_entry = {
-  persist_now : unit -> unit;  (* persist the cell's current value *)
-  wipe : unit -> unit;  (* lose volatile contents, corrupting if needed *)
-}
+type any_cell = Any_cell : 'a cell -> any_cell
+
+let dummy_cell =
+  { cid = -1; vol = (); pst = None; corrupt = false; owner = -1;
+    invalid = false; dirty_ix = -1 }
+
+(* The dirty table: an intrusive swap-remove array over type-erased
+   cells, giving O(1) closure-free [mark_dirty] and O(1) random victim
+   choice for the eviction adversary (the old Hashtbl table allocated
+   two closures per marking and walked its buckets per eviction). *)
+module Dirty = Dirty_set.Make (struct
+  type elt = any_cell
+
+  let index (Any_cell c) = c.dirty_ix
+  let set_index (Any_cell c) i = c.dirty_ix <- i
+  let dummy = Any_cell dummy_cell
+end)
+
+type pending = Pending : 'a cell * 'a -> pending
+(* One flushed-but-unfenced write-back: the cell and the value captured
+   at flush time. *)
+
+let no_pending = Pending (dummy_cell, ())
 
 type thread_state =
   | Ready of (unit -> unit)
@@ -59,9 +82,24 @@ type thread = {
   tid : int;
   mutable vtime : int;
   mutable state : thread_state;
-  mutable pending : (unit -> unit) list;  (* write-backs awaiting fence *)
+  mutable pending : pending array;
+      (* reusable FIFO of write-backs awaiting fence; the first
+         [pending_count] slots are live *)
   mutable pending_count : int;
 }
+
+let dummy_thread =
+  { tid = -1; vtime = 0; state = Finished; pending = [||]; pending_count = 0 }
+
+let push_pending th p =
+  let n = Array.length th.pending in
+  if th.pending_count >= n then begin
+    let b = Array.make (max 8 (2 * n)) no_pending in
+    Array.blit th.pending 0 b 0 n;
+    th.pending <- b
+  end;
+  th.pending.(th.pending_count) <- p;
+  th.pending_count <- th.pending_count + 1
 
 type outcome = Completed | Crashed_at of int
 
@@ -98,13 +136,19 @@ type t = {
   eviction : eviction;
   stall : stall option;
   jitter : int;  (* 0..jitter extra units per op, to break lockstep ties *)
-  mutable threads : thread list;
-  dirty : (int, dirty_entry) Hashtbl.t;
+  mutable threads : thread list;  (* this era's threads, newest first *)
+  mutable by_tid : thread array;  (* tid -> thread, across all eras *)
+  heap : Sched_heap.t;  (* exactly the runnable threads, keyed (vtime, tid) *)
+  dirty : Dirty.t;
+  mutable live_cells : int;  (* allocs minus retires: the working set *)
   mutable next_tid : int;
   mutable next_cid : int;
   mutable steps : int;
   mutable clock : int;  (* virtual time of the last scheduled action *)
-  mutable running : thread option;
+  mutable running : thread;
+      (* physically [dummy_thread] when no fiber is mid-step ("setup
+         mode"); a sentinel rather than an option so the hot-path tests
+         are pointer comparisons, not allocations and matches *)
   mutable crash_at_time : int option;
   mutable crash_at_step : int option;
   mutable scheduler : (t -> int list -> int) option;
@@ -113,6 +157,9 @@ type t = {
          time. *)
   stats : Stats.t;
   mutable tracer : tracer option;
+  mutable on_step : (int -> int -> unit) option;
+      (* called with (step, tid) at every executed scheduling step; the
+         determinism tests use it to record the exact schedule. *)
 }
 
 type _ Effect.t += Yield : unit Effect.t
@@ -129,17 +176,21 @@ let create ?(seed = 0) ?(cost = Cost_model.nvram) ?(eviction = No_eviction)
       stall;
       jitter;
       threads = [];
-      dirty = Hashtbl.create 4096;
+      by_tid = Array.make 8 dummy_thread;
+      heap = Sched_heap.create ();
+      dirty = Dirty.create ();
+      live_cells = 0;
       next_tid = 0;
       next_cid = 0;
       steps = 0;
       clock = 0;
-      running = None;
+      running = dummy_thread;
       crash_at_time = None;
       crash_at_step = None;
       scheduler = None;
       stats = Stats.zero ();
-      tracer = None }
+      tracer = None;
+      on_step = None }
   in
   current_machine := Some m;
   m
@@ -156,9 +207,13 @@ let steps m = m.steps
 let stats m = m.stats
 let makespan m = m.clock
 
-let current_tid m = match m.running with Some th -> th.tid | None -> -1
+let current_tid m =
+  let th = m.running in
+  if th == dummy_thread then -1 else th.tid
 
-let now m = match m.running with Some th -> th.vtime | None -> m.clock
+let now m =
+  let th = m.running in
+  if th == dummy_thread then m.clock else th.vtime
 
 let set_trace m ~capacity =
   m.tracer <- Some { ring = Array.make (max 1 capacity) None; total = 0 }
@@ -199,6 +254,8 @@ let pp_event ppf = function
   | Ev_crash { step; time } ->
     Fmt.pf ppf "step %-6d    CRASH  at time %d" step time
 
+let set_schedule_hook m f = m.on_step <- f
+
 let set_crash_at_time m t = m.crash_at_time <- Some t
 let set_crash_at_step m n = m.crash_at_step <- Some n
 
@@ -211,22 +268,21 @@ let clear_crash m =
 (* ------------------------------------------------------------------ *)
 
 let charge m c =
-  match m.running with
-  | Some th ->
+  let th = m.running in
+  if th != dummy_thread then begin
     let j = if m.jitter > 0 then Random.State.int m.rng (m.jitter + 1) else 0 in
     th.vtime <- th.vtime + c + j
-  | None -> ()
+  end
 
-let yield m = if m.running <> None then Effect.perform Yield
+let yield m = if m.running != dummy_thread then Effect.perform Yield
 
 let cell_is_clean c = match c.pst with Some p -> p == c.vol | None -> false
 
 let persist_value m c v =
   c.pst <- Some v;
-  if c.in_dirty && cell_is_clean c then begin
-    Hashtbl.remove m.dirty c.cid;
-    c.in_dirty <- false
-  end
+  if c.dirty_ix >= 0 && cell_is_clean c then Dirty.remove m.dirty (Any_cell c)
+
+let persist_pending m (Pending (c, v)) = persist_value m c v
 
 let wipe_cell c =
   (match c.pst with
@@ -236,20 +292,16 @@ let wipe_cell c =
   c.invalid <- false
 
 let mark_dirty m c =
-  if (not c.in_dirty) && not (cell_is_clean c) then begin
-    Hashtbl.replace m.dirty c.cid
-      { persist_now = (fun () -> persist_value m c c.vol);
-        wipe = (fun () -> wipe_cell c) };
-    c.in_dirty <- true
-  end
+  if c.dirty_ix < 0 && not (cell_is_clean c) then Dirty.add m.dirty (Any_cell c)
 
 let alloc v =
   let m = get () in
   let cid = m.next_cid in
   m.next_cid <- cid + 1;
+  m.live_cells <- m.live_cells + 1;
   let c =
     { cid; vol = v; pst = None; corrupt = false; owner = current_tid m;
-      invalid = false; in_dirty = false }
+      invalid = false; dirty_ix = -1 }
   in
   mark_dirty m c;
   m.stats.allocs <- m.stats.allocs + 1;
@@ -257,14 +309,30 @@ let alloc v =
   yield m;
   c
 
-let check_corrupt c = if c.corrupt then raise (Corrupt_read c.cid)
+(* The working-set model counts a cell as live until [retire] is told
+   otherwise; the reclamation layer ({!Nvt_reclaim}) reports frees
+   through {!Nvt_nvm.Memory.reclaimed}. Without this, delete-heavy
+   workloads would inflate the miss probability with dead cells
+   forever. *)
+let retire m n = if n > 0 then m.live_cells <- max 0 (m.live_cells - n)
+
+let live_cells m = m.live_cells
+
+let check_corrupt c =
+  if c.corrupt then begin
+    (* An instrumentation layer may have tagged this access
+       ([Stats.set_site]) just before it raised; consume the tag here or
+       it would mis-attribute the next counted access. *)
+    Stats.clear_site ();
+    raise (Corrupt_read c.cid)
+  end
 
 (* Working-set model: with more live lines than cache capacity, a read
    hits with probability capacity/live (uniform-access approximation). *)
 let capacity_miss m =
-  m.running <> None
-  && m.next_cid > m.cost.capacity_lines
-  && Random.State.int m.rng m.next_cid >= m.cost.capacity_lines
+  m.running != dummy_thread
+  && m.live_cells > m.cost.capacity_lines
+  && Random.State.int m.rng m.live_cells >= m.cost.capacity_lines
 
 let read c =
   let m = get () in
@@ -332,13 +400,11 @@ let flush c =
        the invalidation above) is paid *)
     charge m m.cost.flush_clean
   else begin
-    (match m.running with
-    | Some th ->
-      th.pending <- (fun () -> persist_value m c v) :: th.pending;
-      th.pending_count <- th.pending_count + 1
-    | None ->
-      (* setup mode: flushes take effect immediately *)
-      persist_value m c v);
+    (let th = m.running in
+     if th != dummy_thread then push_pending th (Pending (c, v))
+     else
+       (* setup mode: flushes take effect immediately *)
+       persist_value m c v);
     charge m m.cost.flush
   end;
   yield m
@@ -348,23 +414,31 @@ let fence () =
   let site = Stats.take_site () in
   Stats.record_fence m.stats ~site;
   record_event m (Ev_fence { step = m.steps; tid = current_tid m; site });
-  (match m.running with
-  | Some th ->
-    charge m
-      (m.cost.fence_base + (m.cost.fence_per_pending * th.pending_count));
-    List.iter (fun k -> k ()) (List.rev th.pending);
-    th.pending <- [];
-    th.pending_count <- 0
-  | None -> ());
+  (let th = m.running in
+   if th != dummy_thread then begin
+     charge m
+       (m.cost.fence_base + (m.cost.fence_per_pending * th.pending_count));
+     (* complete the write-backs in flush order; the slots are cleared so
+        the reusable buffer does not retain dead cells *)
+     for i = 0 to th.pending_count - 1 do
+       persist_pending m th.pending.(i);
+       th.pending.(i) <- no_pending
+     done;
+     th.pending_count <- 0
+   end);
   yield m
 
 (* Persist every dirty cell immediately; used after pre-filling a
-   structure so that runs start from a fully persistent state. *)
+   structure so that runs start from a fully persistent state.
+   Persisting a cell's current value always removes it from the set, so
+   draining from the back terminates. *)
 let persist_all m =
-  let entries = Hashtbl.fold (fun _ e acc -> e :: acc) m.dirty [] in
-  List.iter (fun e -> e.persist_now ()) entries
+  while Dirty.size m.dirty > 0 do
+    let (Any_cell c) = Dirty.get m.dirty (Dirty.size m.dirty - 1) in
+    persist_value m c c.vol
+  done
 
-let dirty_count m = Hashtbl.length m.dirty
+let dirty_count m = Dirty.size m.dirty
 
 (* ------------------------------------------------------------------ *)
 (* Scheduling                                                          *)
@@ -374,9 +448,16 @@ let spawn m f =
   let tid = m.next_tid in
   m.next_tid <- tid + 1;
   let th =
-    { tid; vtime = m.clock; state = Ready f; pending = []; pending_count = 0 }
+    { tid; vtime = m.clock; state = Ready f; pending = [||]; pending_count = 0 }
   in
   m.threads <- th :: m.threads;
+  if tid >= Array.length m.by_tid then begin
+    let b = Array.make (max 8 (2 * Array.length m.by_tid)) dummy_thread in
+    Array.blit m.by_tid 0 b 0 (Array.length m.by_tid);
+    m.by_tid <- b
+  end;
+  m.by_tid.(tid) <- th;
+  Sched_heap.add m.heap ~vtime:th.vtime ~tid;
   tid
 
 let runnable th =
@@ -385,54 +466,53 @@ let runnable th =
 let set_scheduler m f = m.scheduler <- Some f
 let clear_scheduler m = m.scheduler <- None
 
+(* Select the thread to run next. The heap holds exactly the runnable
+   threads, so the default path is a peek of the root — the same thread
+   the old linear scan over [m.threads] selected, in O(1). The thread
+   stays in the heap; [reschedule] grows its key in place after the
+   step. A scheduler override's choice is removed instead (it may pick
+   any runnable tid, not just the root), and [reschedule] re-adds it. *)
 let pick_runnable m =
   match m.scheduler with
-  | Some choose ->
-    let tids =
-      List.filter_map (fun th -> if runnable th then Some th.tid else None)
-        m.threads
-      |> List.sort compare
-    in
-    if tids = [] then None
-    else
+  | Some choose -> (
+    match Sched_heap.tids_ascending m.heap with
+    | [] -> None
+    | tids ->
       let tid = choose m tids in
-      List.find_opt (fun th -> th.tid = tid && runnable th) m.threads
-  | None ->
-    List.fold_left
-      (fun best th ->
-        if not (runnable th) then best
-        else
-          match best with
-          | Some b when b.vtime < th.vtime -> best
-          | Some b when b.vtime = th.vtime && b.tid < th.tid -> best
-          | Some _ | None -> Some th)
-      None m.threads
+      if Sched_heap.remove m.heap ~tid then Some m.by_tid.(tid)
+      else
+        (* A buggy exploration schedule used to fall through to [None]
+           here and read as a clean completion with threads still
+           suspended; fail loudly instead. *)
+        invalid_arg
+          (Printf.sprintf
+             "Machine: scheduler override chose tid %d, which is not runnable"
+             tid))
+  | None -> (
+    match Sched_heap.min_tid m.heap with
+    | None -> None
+    | Some tid -> Some m.by_tid.(tid))
+
+(* Put [th] back in scheduling order after a step or stall. On the
+   default path it is still in the heap and its vtime only grew, so a
+   single in-place sift suffices — this is the simulator's hottest
+   line. An override's pick was removed, so it is re-added. *)
+let reschedule m th =
+  if Sched_heap.mem m.heap ~tid:th.tid then
+    if runnable th then Sched_heap.update m.heap ~vtime:th.vtime ~tid:th.tid
+    else ignore (Sched_heap.remove m.heap ~tid:th.tid)
+  else if runnable th then Sched_heap.add m.heap ~vtime:th.vtime ~tid:th.tid
 
 let maybe_evict m =
   match m.eviction with
   | No_eviction -> ()
   | Random_eviction p ->
     if Random.State.float m.rng 1.0 < p then begin
-      let n = Hashtbl.length m.dirty in
+      let n = Dirty.size m.dirty in
       if n > 0 then begin
-        let i = Random.State.int m.rng n in
-        let picked = ref None in
-        let j = ref 0 in
-        (try
-           Hashtbl.iter
-             (fun cid e ->
-               if !j = i then begin
-                 picked := Some (cid, e);
-                 raise Exit
-               end;
-               incr j)
-             m.dirty
-         with Exit -> ());
-        match !picked with
-        | Some (cid, e) ->
-          record_event m (Ev_evict { step = m.steps; cid });
-          e.persist_now ()
-        | None -> ()
+        let (Any_cell c) = Dirty.get m.dirty (Random.State.int m.rng n) in
+        record_event m (Ev_evict { step = m.steps; cid = c.cid });
+        persist_value m c c.vol
       end
     end
 
@@ -459,22 +539,28 @@ let crash m =
     (fun th ->
       (match th.state with
       | Suspended k ->
-        m.running <- Some th;
+        m.running <- th;
         (try Effect.Deep.discontinue k Crashed with Crashed -> ());
         th.state <- Finished;
-        m.running <- None
+        m.running <- dummy_thread
       | Ready _ -> th.state <- Finished
       | Running | Finished | Failed _ -> ());
-      List.iter
-        (fun k -> if Random.State.bool m.rng then k ())
-        (List.rev th.pending);
-      th.pending <- [];
+      for i = 0 to th.pending_count - 1 do
+        if Random.State.bool m.rng then persist_pending m th.pending.(i);
+        th.pending.(i) <- no_pending
+      done;
       th.pending_count <- 0)
     m.threads;
   m.threads <- [];
-  let entries = Hashtbl.fold (fun _ e acc -> e :: acc) m.dirty [] in
-  Hashtbl.reset m.dirty;
-  List.iter (fun e -> e.wipe ()) entries
+  Sched_heap.clear m.heap;
+  Dirty.iter (fun (Any_cell c) -> wipe_cell c) m.dirty;
+  Dirty.clear m.dirty
+
+(* Reclamation layers report frees through [Nvt_nvm.Memory.reclaimed];
+   route them to the current machine's working-set estimate. *)
+let () =
+  Nvt_nvm.Memory.on_reclaim :=
+    fun n -> match !current_machine with Some m -> retire m n | None -> ()
 
 let crash_due m th =
   (match m.crash_at_step with Some n -> m.steps >= n | None -> false)
@@ -482,41 +568,42 @@ let crash_due m th =
 
 let run m =
   set_current m;
-  let rec loop () =
-    match pick_runnable m with
-    | None ->
-      (* Fail loudly if a fiber died on an unexpected exception. *)
-      List.iter
-        (fun th ->
-          match th.state with
-          | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
-          | _ -> ())
-        m.threads;
-      m.threads <- [];
-      Completed
-    | Some th ->
-      if crash_due m th then begin
-        let t = th.vtime in
-        m.clock <- max m.clock t;
-        record_event m (Ev_crash { step = m.steps; time = t });
-        crash m;
-        m.crash_at_time <- None;
-        m.crash_at_step <- None;
-        Crashed_at t
-      end
-      else begin
-        match m.stall with
-        | Some { probability; max_units }
-          when Random.State.float m.rng 1.0 < probability ->
-          (* the thread loses the CPU instead of acting; someone else
-             may now be scheduled first *)
-          th.vtime <- th.vtime + 1 + Random.State.int m.rng max_units;
-          loop ()
-        | Some _ | None ->
+  let finish () =
+    (* Fail loudly if a fiber died on an unexpected exception. *)
+    List.iter
+      (fun th ->
+        match th.state with
+        | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+        | _ -> ())
+      m.threads;
+    m.threads <- [];
+    Completed
+  in
+  let rec step th =
+    if crash_due m th then begin
+      let t = th.vtime in
+      if t > m.clock then m.clock <- t;
+      record_event m (Ev_crash { step = m.steps; time = t });
+      crash m;
+      m.crash_at_time <- None;
+      m.crash_at_step <- None;
+      Crashed_at t
+    end
+    else begin
+      match m.stall with
+      | Some { probability; max_units }
+        when Random.State.float m.rng 1.0 < probability ->
+        (* the thread loses the CPU instead of acting; someone else
+           may now be scheduled first *)
+        th.vtime <- th.vtime + 1 + Random.State.int m.rng max_units;
+        reschedule m th;
+        loop ()
+      | Some _ | None ->
         m.steps <- m.steps + 1;
-        m.clock <- max m.clock th.vtime;
+        (match m.on_step with Some f -> f m.steps th.tid | None -> ());
+        if th.vtime > m.clock then m.clock <- th.vtime;
         maybe_evict m;
-        m.running <- Some th;
+        m.running <- th;
         (match th.state with
         | Ready f ->
           th.state <- Running;
@@ -525,8 +612,18 @@ let run m =
           th.state <- Running;
           Effect.Deep.continue k ()
         | Running | Finished | Failed _ -> assert false);
-        m.running <- None;
+        m.running <- dummy_thread;
+        reschedule m th;
         loop ()
-      end
+    end
+  and loop () =
+    (* The default path reads the heap root directly — no option or
+       closure allocation at any of the millions of steps per run. *)
+    match m.scheduler with
+    | None ->
+      if Sched_heap.is_empty m.heap then finish ()
+      else step m.by_tid.(Sched_heap.root_tid m.heap)
+    | Some _ -> (
+      match pick_runnable m with None -> finish () | Some th -> step th)
   in
   loop ()

@@ -87,9 +87,18 @@ val clear_crash : t -> unit
 
 val set_scheduler : t -> (t -> int list -> int) -> unit
 (** Override scheduling: given the runnable tids (ascending), return the
-    tid to run next. Used by {!Explore}. *)
+    tid to run next. Used by {!Explore}. Returning a tid that is not in
+    the runnable list makes {!run} raise [Invalid_argument] naming the
+    tid — a buggy schedule must not read as a clean completion with
+    threads still suspended. *)
 
 val clear_scheduler : t -> unit
+
+val set_schedule_hook : t -> (int -> int -> unit) option -> unit
+(** Install (or clear) a callback invoked with [(step, tid)] at every
+    executed scheduling step, before the step's memory access runs. The
+    determinism tests use it to record the exact schedule; it does not
+    perturb the simulation. *)
 
 (** {1 Introspection} *)
 
@@ -107,6 +116,16 @@ val makespan : t -> int
 
 val stats : t -> Nvt_nvm.Stats.t
 val dirty_count : t -> int
+
+val retire : t -> int -> unit
+(** Tell the working-set model that [n] cells were reclaimed: the
+    capacity-miss probability is [1 - capacity/live] and [live] is
+    allocations minus retirements. The reclamation layer reports its
+    frees automatically through {!Nvt_nvm.Memory.reclaimed}; call this
+    directly when modelling reclamation by other means. *)
+
+val live_cells : t -> int
+(** The working-set model's current live-cell estimate. *)
 
 (** {1 Event trace} *)
 

@@ -1,0 +1,50 @@
+(** An indexed binary min-heap of thread ids keyed by [(vtime, tid)],
+    lexicographically — the scheduler's least-virtual-time /
+    lowest-tid tie-break as a data structure. Backs {!Machine}'s
+    default scheduler: popping the min is O(log n) per scheduling step
+    where the old implementation scanned every thread.
+
+    A positions array indexed by tid gives O(1) membership and O(log n)
+    removal of an arbitrary tid (what the explorer's scheduler override
+    needs). Tids must be small non-negative integers; the machine's
+    sequentially allocated, never-reused tids qualify. *)
+
+type t
+
+val create : unit -> t
+
+val size : t -> int
+val is_empty : t -> bool
+
+val mem : t -> tid:int -> bool
+
+val add : t -> vtime:int -> tid:int -> unit
+(** Insert a tid with its key. Raises [Invalid_argument] if the tid is
+    negative or already present (each runnable thread is in the heap
+    exactly once). *)
+
+val update : t -> vtime:int -> tid:int -> unit
+(** Grow a present tid's key to [vtime] in place — the hot path for
+    rescheduling the thread that just ran, replacing a pop + add with a
+    single sift. The new key must be no smaller than the current one
+    (virtual time is monotone); a smaller key silently misorders the
+    heap. Raises [Invalid_argument] if the tid is not present. *)
+
+val pop_min : t -> int option
+(** Remove and return the tid with the least [(vtime, tid)]. *)
+
+val min_tid : t -> int option
+(** The tid that {!pop_min} would return, without removing it. *)
+
+val root_tid : t -> int
+(** Allocation-free {!min_tid} for the scheduler's hot path. Raises
+    [Invalid_argument] on an empty heap. *)
+
+val remove : t -> tid:int -> bool
+(** Remove a specific tid; [false] if it was not present. *)
+
+val clear : t -> unit
+
+val tids_ascending : t -> int list
+(** Every contained tid in ascending order — the runnable list handed
+    to a scheduler override. *)

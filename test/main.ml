@@ -12,6 +12,7 @@ let () =
       ("onefile", Test_onefile.suite);
       ("linearizability_checker", Test_lin.suite);
       ("explore", Test_explore.suite);
+      ("sched", Test_sched.suite);
       ("priority_queue", Test_pqueue.suite);
       ("native_domains", Test_native.suite);
       ("crash_sweep", Test_crash_sweep.suite);

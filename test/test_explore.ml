@@ -191,6 +191,26 @@ let broken_scenario_is_structured_error () =
     Alcotest.fail "a broken run must not be counted as a violation";
   if r.Explore.runs < 1 then Alcotest.fail "no runs recorded"
 
+(* Regression: a scheduler override returning a tid that is not
+   runnable used to fall through [List.find_opt] to [None], so [run]
+   reported [Completed] while threads were still suspended — a buggy
+   exploration schedule read as a clean completion. It must raise,
+   naming the bad tid. *)
+let bogus_override_raises () =
+  let m = Machine.create () in
+  let l = Sim_mem.alloc 0 in
+  ignore (Machine.spawn m (fun () -> Sim_mem.write l 1));
+  ignore (Machine.spawn m (fun () -> Sim_mem.write l 2));
+  Machine.set_scheduler m (fun _ _ -> 999);
+  match Machine.run m with
+  | Machine.Completed ->
+    Alcotest.fail
+      "override chose non-runnable tid 999 and run reported Completed"
+  | Machine.Crashed_at _ -> Alcotest.fail "unexpected crash"
+  | exception Invalid_argument msg ->
+    if not (contains "999" msg) then
+      Alcotest.failf "error must name the bad tid: %s" msg
+
 (* Resource exhaustion is never a verdict: the explorer must re-raise. *)
 let oom_propagates () =
   let scenario m =
@@ -210,6 +230,8 @@ let suite =
     Alcotest.test_case "machine crash becomes a per-plan error" `Quick
       broken_scenario_is_structured_error;
     Alcotest.test_case "Out_of_memory propagates" `Quick oom_propagates;
+    Alcotest.test_case "override of a non-runnable tid raises" `Quick
+      bogus_override_raises;
     Alcotest.test_case "harris list" `Quick
       (explore_structure "harris" (module Hl.Durable));
     Alcotest.test_case "ellen bst" `Quick

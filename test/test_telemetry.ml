@@ -210,6 +210,118 @@ let reachable_crash_fires () =
     Alcotest.fail "crashlab trace exceeds its configured capacity"
 
 (* ------------------------------------------------------------------ *)
+(* Regression: site-tag leak across Corrupt_read                       *)
+(* ------------------------------------------------------------------ *)
+
+(* [cas] and [flush] used to call [check_corrupt] *before*
+   [Stats.take_site], so a tagged access that raised [Corrupt_read]
+   (e.g. nvt:make_persistent during crashlab recovery) left its tag
+   pending, and the next counted access was attributed to the wrong
+   site — breaking the per-site = aggregate conservation above. The
+   raise path must consume the tag. *)
+let corrupt_read_consumes_site_tag () =
+  let m = Machine.create ~seed:7 () in
+  (* allocated but never persisted: wiped to corrupt by the crash *)
+  let c1 = Sim_mem.alloc 0 in
+  let c2 = Sim_mem.alloc 0 in
+  ignore (Machine.spawn m (fun () -> Sim_mem.write c1 1));
+  Machine.set_crash_at_step m 0;
+  (match Machine.run m with
+  | Machine.Crashed_at _ -> ()
+  | Machine.Completed -> Alcotest.fail "expected the configured crash");
+  let before = Stats.copy (Machine.stats m) in
+  Stats.set_site "test:leak";
+  (match Sim_mem.flush c1 with
+  | () -> Alcotest.fail "flush of a corrupt cell must raise"
+  | exception Machine.Corrupt_read _ -> ());
+  Stats.set_site "test:leak";
+  (match Sim_mem.cas c2 ~expected:0 ~desired:1 with
+  | _ -> Alcotest.fail "cas on a corrupt cell must raise"
+  | exception Machine.Corrupt_read _ -> ());
+  (* the next counted access must fall back to the default site *)
+  Sim_mem.fence ();
+  let d = Stats.diff ~after:(Machine.stats m) ~before in
+  if List.mem_assoc "test:leak" (Stats.sites d) then
+    Alcotest.fail
+      "site tag survived Corrupt_read and mis-attributed a later access";
+  match List.assoc_opt Stats.app_site (Stats.sites d) with
+  | Some s when s.Stats.s_fences = 1 -> ()
+  | _ ->
+    Alcotest.fail "the fence after the raises must be attributed to [app]"
+
+(* ------------------------------------------------------------------ *)
+(* Regression: throughput op budget                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* A set that counts every operation invoked on it; correctness of the
+   contents is irrelevant here, only the invocation count. *)
+let counted = ref 0
+
+module Counting_set = struct
+  type t = (int * int) list Sim_mem.loc
+
+  let create () = Sim_mem.alloc []
+
+  let insert t ~key ~value =
+    incr counted;
+    let l = Sim_mem.read t in
+    if List.mem_assoc key l then false
+    else begin
+      Sim_mem.write t ((key, value) :: l);
+      true
+    end
+
+  let delete t k =
+    incr counted;
+    let l = Sim_mem.read t in
+    if List.mem_assoc k l then begin
+      Sim_mem.write t (List.remove_assoc k l);
+      true
+    end
+    else false
+
+  let member t k =
+    incr counted;
+    List.mem_assoc k (Sim_mem.read t)
+
+  let find t k = List.assoc_opt k (Sim_mem.read t)
+  let recover _ = ()
+  let to_list t = List.sort compare (Sim_mem.read t)
+  let size t = List.length (Sim_mem.read t)
+  let check_invariants _ = ()
+end
+
+(* [Throughput.run] used to compute [per_thread = max 1 (total_ops /
+   threads)]: 1000 ops over 64 threads silently ran 960, and
+   [total_ops < threads] ran *more* than requested. Exactly [total_ops]
+   operations must run, and the reported [ops] must match. *)
+let throughput_runs_exactly_total_ops () =
+  List.iter
+    (fun (total_ops, threads) ->
+      let range = 64 in
+      (* the prefill loop also calls [insert]; its call count is
+         deterministic, so subtract it *)
+      let prefill_calls =
+        List.length
+          (List.filter (fun k -> k < range) (Workload.prefill_keys ~range))
+      in
+      counted := 0;
+      let r =
+        T.run
+          (module Counting_set)
+          ~cost:Nvt_nvm.Cost_model.nvram ~seed:11
+          { T.threads; range; mix = Workload.updates ~pct:30; total_ops }
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "executed ops (%d over %d threads)" total_ops threads)
+        total_ops
+        (!counted - prefill_calls);
+      Alcotest.(check int)
+        (Printf.sprintf "reported ops (%d over %d threads)" total_ops threads)
+        total_ops r.T.ops)
+    [ (1000, 64); (3, 8); (64, 64); (100, 7) ]
+
+(* ------------------------------------------------------------------ *)
 (* JSON emitter                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -253,4 +365,8 @@ let suite =
       unreachable_crash_is_reported;
     Alcotest.test_case "reachable crash fires and is counted" `Quick
       reachable_crash_fires;
+    Alcotest.test_case "corrupt read consumes the pending site tag" `Quick
+      corrupt_read_consumes_site_tag;
+    Alcotest.test_case "throughput runs exactly total_ops" `Quick
+      throughput_runs_exactly_total_ops;
     Alcotest.test_case "json emitter" `Quick json_emitter ]
