@@ -76,6 +76,17 @@ let selfperf_cmd =
        ~doc:"Simulated steps per wall second across thread counts")
     Term.(const run_selfperf $ quick $ seed $ json)
 
+let run_service quick seed json =
+  Service.run
+    ?json_path:(if json then Some "BENCH_service.json" else None)
+    ~quick ~seed ()
+
+let service_cmd =
+  Cmd.v
+    (Cmd.info "service"
+       ~doc:"Sharded durable service: group vs per-op acknowledgement")
+    Term.(const run_service $ quick $ seed $ json)
+
 let default = Term.(const run_panels $ panel_ids $ full $ seed $ json)
 
 let () =
@@ -92,4 +103,5 @@ let () =
             ext_cmd "mix" "Flush/fence counts per operation";
             micro_cmd;
             native_cmd;
-            selfperf_cmd ]))
+            selfperf_cmd;
+            service_cmd ]))

@@ -1,0 +1,122 @@
+(* The service-level group-persistence experiment: the same open-loop
+   workload acknowledged per-op vs under group commit at several batch
+   sizes, reporting latency percentiles (simulated time) and fences per
+   acknowledged operation, with the saving attributed to the svc:*
+   commit-protocol sites.
+
+   The paper's analysis says fences dominate the cost of durable
+   structures; this bench shows the service-level counterpart — one
+   epoch fence pair amortized over a batch of acknowledgements — and
+   its price: acknowledgement latency grows with the batching window.
+
+   Every run carries the exactly-once oracle of [Nvt_service.Runner];
+   a violation or a missing fence saving makes the bench exit
+   non-zero, so CI distinguishes a clean run from a printed error. *)
+
+module Runner = Nvt_service.Runner
+module Service = Nvt_service.Service
+module Stats = Nvt_nvm.Stats
+module Json = Nvt_harness.Json
+
+let svc_site_fences (r : Runner.report) =
+  List.fold_left
+    (fun acc (name, s) ->
+      if String.length name >= 4 && String.sub name 0 4 = "svc:" then
+        acc + s.Stats.s_fences
+      else acc)
+    0
+    (Stats.sites r.stats)
+
+let run ?json_path ?(quick = false) ?(seed = 1) () =
+  let requests = if quick then 600 else 4000 in
+  let base =
+    { Runner.default_config with
+      seed;
+      requests;
+      structure = "hash";
+      flavour = "nvt";
+      shards = 4;
+      clients = 16;
+      (* just under capacity: saturating the shards would measure queue
+         growth, not the acknowledgement protocol *)
+      mean_gap = 600;
+      skew = 0.99;
+      update_pct = 50;
+      key_range = 512;
+      watchdog = 40_000_000 }
+  in
+  let modes =
+    if quick then [ Service.Per_op; Service.Group { batch = 16; timeout = 4000 } ]
+    else
+      [ Service.Per_op;
+        Service.Group { batch = 4; timeout = 2000 };
+        Service.Group { batch = 16; timeout = 4000 };
+        Service.Group { batch = 64; timeout = 8000 } ]
+  in
+  Printf.printf
+    "service group-persistence bench (%s): %d requests, %s/%s, %d shards, \
+     zipf(%.2f)\n\
+     %-8s %8s %8s %8s %10s %10s %10s %9s\n"
+    (if quick then "quick" else "full")
+    requests base.structure base.flavour base.shards base.skew "mode" "p50"
+    "p95" "p99" "fences/op" "flush/op" "svc fences" "violations";
+  let reports =
+    List.map
+      (fun mode ->
+        let r = Runner.run { base with mode } in
+        Printf.printf "%-8s %8d %8d %8d %10.3f %10.3f %10d %9d\n%!"
+          (Service.mode_name mode) r.latency.p50 r.latency.p95 r.latency.p99
+          (Runner.fences_per_op r) (Runner.flushes_per_op r)
+          (svc_site_fences r)
+          (List.length r.violations);
+        List.iter (fun v -> Printf.printf "    VIOLATION: %s\n" v) r.violations;
+        r)
+      modes
+  in
+  let per_op, grouped =
+    match reports with
+    | p :: g -> (p, g)
+    | [] -> assert false
+  in
+  let ok = ref true in
+  List.iter
+    (fun (r : Runner.report) ->
+      if r.violations <> [] then begin
+        Printf.printf "FAIL: %s has violations\n"
+          (Service.mode_name r.config.mode);
+        ok := false
+      end)
+    reports;
+  List.iter
+    (fun (g : Runner.report) ->
+      if Runner.fences_per_op g >= Runner.fences_per_op per_op then begin
+        Printf.printf
+          "FAIL: %s fences/op %.3f not below per-op %.3f — group \
+           persistence saved nothing\n"
+          (Service.mode_name g.config.mode)
+          (Runner.fences_per_op g) (Runner.fences_per_op per_op);
+        ok := false
+      end)
+    grouped;
+  (match json_path with
+  | None -> ()
+  | Some path ->
+    let json =
+      Json.Obj
+        [ ("schema", Json.Str "nvtraverse-service/1");
+          ("quick", Json.Bool quick);
+          ("seed", Json.Int seed);
+          ("structure", Json.Str base.structure);
+          ("policy", Json.Str base.flavour);
+          ("shards", Json.Int base.shards);
+          ("clients", Json.Int base.clients);
+          ("requests", Json.Int requests);
+          ("mean_gap", Json.Int base.mean_gap);
+          ("skew", Json.Float base.skew);
+          ("update_pct", Json.Int base.update_pct);
+          ("key_range", Json.Int base.key_range);
+          ("modes", Json.List (List.map Runner.mode_json reports)) ]
+    in
+    Json.write_file path json;
+    Printf.printf "wrote %s\n%!" path);
+  if not !ok then exit 1

@@ -1,16 +1,25 @@
 (* nvtsim — a crash laboratory for durable data structures.
 
-   Runs a seeded workload on a chosen structure and persistence policy
-   over the simulated NVRAM machine, with optional crash injection, then
-   reports throughput, instruction mix, and the durable-linearizability
-   verdict. The structure/policy matrix is the registry in
-   [Nvt_harness.Instances] (plus the OneFile PTM set, which brings its
-   own persistence). Examples:
+   [nvtsim run] (the default command) runs a seeded workload on a
+   chosen structure and persistence policy over the simulated NVRAM
+   machine, with optional crash injection, then reports throughput,
+   instruction mix, and the durable-linearizability verdict. The
+   structure/policy matrix is the registry in [Nvt_harness.Instances]
+   (plus the OneFile PTM set, which brings its own persistence).
+   [nvtsim serve] drives the sharded durable service front-end
+   ([Nvt_service]) under an open-loop request stream with crash
+   injection and an exactly-once oracle. Examples:
 
      nvtsim --structure list --policy volatile --crash 300
-     nvtsim --structure bst-nm --threads 8 --updates 50 --crash 200 --crash 400
-     nvtsim --structure skiplist --eviction 0.05 --seed 7
-     nvtsim --structure hash --policy all --crash 250 *)
+     nvtsim run --structure bst-nm --threads 8 --updates 50 --crash 200
+     nvtsim run --structure hash --policy all --crash 250
+     nvtsim serve --batch 16 --crash 2000 --crash 3000
+     nvtsim serve --policy flit --shards 8 --skew 1.2 --batch 0
+
+   Exit status: 0 only for a fully clean run; 1 for any durability
+   violation, corrupt read, failed recovery/invariant, or exactly-once
+   violation; 2 for CLI errors (unknown structure/policy). CI relies
+   on this to distinguish a clean run from a printed violation. *)
 
 open Cmdliner
 module H = Nvt_harness
@@ -178,20 +187,138 @@ let run s_name p_name threads ops range seed updates eviction stall crashes
              verdict:    CORRUPT MEMORY (cell %d read after crash without \
              a persistent value)\n"
             s_name p_name cid;
+          false
+        | exception Failure msg ->
+          (* a structural invariant broke, or recovery failed *)
+          Printf.printf "structure:  %s (%s)\nverdict:    FAILED: %s\n"
+            s_name p_name msg;
           false)
       chosen
   in
   if List.exists not verdicts then exit 1
 
+(* ------------------------------------------------------------------ *)
+(* serve: the sharded durable service under open-loop load             *)
+(* ------------------------------------------------------------------ *)
+
+module Service = Nvt_service.Service
+module Runner = Nvt_service.Runner
+
+let svc_structure =
+  let names = List.map fst I.structures in
+  Arg.(
+    value
+    & opt (enum (List.map (fun n -> (n, n)) names)) "hash"
+    & info [ "structure"; "s" ]
+        ~doc:(Printf.sprintf "Shard structure: %s." (String.concat ", " names)))
+
+let svc_policy =
+  Arg.(
+    value & opt string "nvt"
+    & info [ "policy"; "p" ] ~doc:("Persistence policy: " ^ policy_doc))
+
+let shards = Arg.(value & opt int 4 & info [ "shards" ] ~doc:"Shard count.")
+
+let clients =
+  Arg.(value & opt int 16 & info [ "clients" ] ~doc:"Client sessions.")
+
+let requests =
+  Arg.(value & opt int 1000 & info [ "requests"; "n" ] ~doc:"Total requests.")
+
+let gap =
+  Arg.(
+    value & opt int 600
+    & info [ "gap" ]
+        ~doc:"Mean Poisson inter-arrival gap in simulated time units.")
+
+let skew =
+  Arg.(
+    value & opt float 0.99
+    & info [ "skew" ] ~doc:"Zipf key-skew parameter; 0 = uniform keys.")
+
+let batch =
+  Arg.(
+    value & opt int 16
+    & info [ "batch" ]
+        ~doc:"Group-commit batch size; 0 or 1 = per-op acknowledgement.")
+
+let batch_timeout =
+  Arg.(
+    value & opt int 4000
+    & info [ "timeout" ]
+        ~doc:"Group-commit timeout (simulated time units): a batch \
+              commits when full or when its oldest completion has \
+              waited this long.")
+
+let serve s_name p_name shards clients requests gap skew updates range seed
+    batch timeout crashes eviction dram =
+  (match I.flavour p_name with
+  | Some _ -> ()
+  | None ->
+    Printf.eprintf "unknown policy %s (available: %s)\n" p_name
+      (String.concat ", " (List.map (fun (f : I.flavour) -> f.key) I.flavours));
+    exit 2);
+  let cfg =
+    { Runner.default_config with
+      structure = s_name;
+      flavour = p_name;
+      shards;
+      clients;
+      requests;
+      mean_gap = gap;
+      skew;
+      update_pct = updates;
+      key_range = range;
+      mode =
+        (if batch <= 1 then Service.Per_op
+         else Service.Group { batch; timeout });
+      seed;
+      crash_steps = crashes;
+      cost =
+        (if dram then Nvt_nvm.Cost_model.dram else Nvt_nvm.Cost_model.nvram);
+      eviction =
+        (if eviction > 0.0 then Nvt_sim.Machine.Random_eviction eviction
+         else Nvt_sim.Machine.No_eviction) }
+  in
+  match Runner.run cfg with
+  | r ->
+    Format.printf "%a@." Runner.pp_report r;
+    if r.violations <> [] then exit 1
+  | exception Nvt_sim.Machine.Corrupt_read cid ->
+    Printf.printf
+      "verdict:    CORRUPT MEMORY (cell %d read after crash without a \
+       persistent value)\n"
+      cid;
+    exit 1
+  | exception Failure msg ->
+    Printf.printf "verdict:    FAILED: %s\n" msg;
+    exit 1
+
 let () =
-  let term =
+  let run_term =
     Term.(
       const run $ structure $ policy $ threads $ ops $ range $ seed $ updates
       $ eviction $ stall $ crashes $ dram $ trace_cap)
   in
+  let run_cmd =
+    Cmd.v
+      (Cmd.info "run"
+         ~doc:"Seeded workload on one structure with crash injection")
+      run_term
+  in
+  let serve_cmd =
+    Cmd.v
+      (Cmd.info "serve"
+         ~doc:"Sharded durable service under open-loop load with crash \
+               injection and an exactly-once oracle")
+      Term.(
+        const serve $ svc_structure $ svc_policy $ shards $ clients $ requests
+        $ gap $ skew $ updates $ range $ seed $ batch $ batch_timeout
+        $ crashes $ eviction $ dram)
+  in
   exit
     (Cmd.eval
-       (Cmd.v
+       (Cmd.group ~default:run_term
           (Cmd.info "nvtsim"
              ~doc:"Crash laboratory for durable lock-free data structures")
-          term))
+          [ run_cmd; serve_cmd ]))

@@ -1,0 +1,527 @@
+(* The open-loop load harness and crash laboratory for the service.
+
+   A driver thread releases requests at Poisson arrival times
+   (exponential inter-arrival gaps, seeded) over a configurable number
+   of sequential client sessions; a client with an outstanding request
+   backlogs later arrivals, and latency is measured from the *scheduled*
+   arrival, so queueing delay counts — the open-loop discipline.
+
+   Crashes are injected at configured step counts, as in [Crashlab]:
+   after each [Crashed_at] the service recovers and the next era
+   re-sends every outstanding (unacknowledged) request, exactly what a
+   real client would do. An oracle in plain OCaml state — which
+   survives simulated crashes, making it a perfect observer — checks
+   exactly-once semantics:
+
+     - every request is acknowledged exactly once;
+     - no request is applied to a store after it was acknowledged
+       (double application of acknowledged work);
+     - the final store contents equal a replay of the committed logs
+       over the prefill (acknowledged-then-lost work would diverge);
+     - every acknowledged request appears exactly once in the
+       committed logs;
+     - on crash-free runs, replaying the committed logs reproduces
+       each recorded result exactly and every request is applied once.
+
+   An optional audit pass then re-sends every client's last
+   acknowledged request and requires a deduplicated answer with the
+   recorded result and zero store applications.
+
+   Liveness is guarded by a watchdog: an era that runs [watchdog]
+   steps without completing is crashed and reported as a stall
+   violation instead of simulating forever. *)
+
+module Machine = Nvt_sim.Machine
+module Stats = Nvt_nvm.Stats
+module Workload = Nvt_workload.Workload
+module I = Nvt_harness.Instances
+
+type config = {
+  structure : string;  (* registry key, e.g. "hash" *)
+  flavour : string;  (* registry key, e.g. "nvt" *)
+  shards : int;
+  clients : int;
+  requests : int;
+  mean_gap : int;  (* mean inter-arrival gap, simulated time units *)
+  skew : float;  (* 0 = uniform keys; else Zipf skew parameter *)
+  update_pct : int;
+  key_range : int;
+  mode : Service.mode;
+  seed : int;
+  crash_steps : int list;  (* one crash per era, like Crashlab *)
+  cost : Nvt_nvm.Cost_model.t;
+  eviction : Machine.eviction;
+  watchdog : int;  (* max steps per era before a stall is declared *)
+  audit : bool;  (* post-run re-send audit *)
+}
+
+let default_config =
+  { structure = "hash";
+    flavour = "nvt";
+    shards = 4;
+    clients = 16;
+    requests = 1000;
+    mean_gap = 600;
+    skew = 0.99;
+    update_pct = 50;
+    key_range = 256;
+    mode = Service.Group { batch = 16; timeout = 2000 };
+    seed = 1;
+    crash_steps = [];
+    cost = Nvt_nvm.Cost_model.nvram;
+    eviction = Machine.No_eviction;
+    watchdog = 2_000_000;
+    audit = true }
+
+type latency = { p50 : int; p95 : int; p99 : int; lmax : int; mean : float }
+
+type report = {
+  config : config;
+  acked : int;
+  applies : int;  (* store applications, including crash re-sends *)
+  resent : int;
+  dedup_acks : int;  (* re-sends answered from the ledger *)
+  audit_acks : int;
+  crashes_requested : int;
+  crashes_fired : int;
+  eras : int;
+  makespan : int;
+  steps : int;
+  committed : int;
+  latency : latency;
+  stats : Stats.t;  (* main-run window (prefill and audit excluded) *)
+  violations : string list;
+}
+
+(* ------------------------------------------------------------------ *)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0
+  else sorted.(min (n - 1) (max 0 (int_of_float (ceil (p *. float_of_int n)) - 1)))
+
+let exponential rng mean =
+  let u = 1.0 -. Random.State.float rng 1.0 (* (0, 1] *) in
+  max 1 (int_of_float (Float.round (-.float_of_int mean *. log u)))
+
+type arrival = { a_client : int; a_seq : int; a_op : Service.op; a_time : int }
+
+(* Per-request oracle record. *)
+type rec_ = {
+  r_arrival : int;
+  r_op : Service.op;
+  mutable r_acks : int;
+  mutable r_ack_res : Service.result option;
+  mutable r_applies : int;
+}
+
+let run (c : config) : report =
+  let structure =
+    match List.assoc_opt c.structure I.structures with
+    | Some s -> s
+    | None -> invalid_arg (Printf.sprintf "service: unknown structure %S" c.structure)
+  in
+  let flavour =
+    match I.flavour c.flavour with
+    | Some f -> f
+    | None -> invalid_arg (Printf.sprintf "service: unknown policy %S" c.flavour)
+  in
+  let m = Machine.create ~seed:c.seed ~cost:c.cost ~eviction:c.eviction () in
+  let svc =
+    Service.create ~structure ~flavour ~shards:c.shards ~mode:c.mode ()
+  in
+  let prefill =
+    List.filter (fun k -> k < c.key_range)
+      (Workload.prefill_keys ~range:c.key_range)
+  in
+  Service.prefill svc prefill;
+  Machine.persist_all m;
+
+  (* ---- arrival schedule ---- *)
+  let dist =
+    if c.skew <= 0.0 then Workload.Uniform else Workload.Zipf c.skew
+  in
+  let wl =
+    Workload.gen_dist ~dist ~seed:(c.seed + 1)
+      ~mix:(Workload.updates ~pct:c.update_pct)
+      ~range:c.key_range
+  in
+  let arr_rng = Random.State.make [| c.seed; 0xa11 |] in
+  let cli_rng = Random.State.make [| c.seed; 0xc11 |] in
+  let seq_ctr = Array.make c.clients 0 in
+  let clock = ref 0 in
+  let arrivals =
+    Array.init c.requests (fun _ ->
+        clock := !clock + exponential arr_rng c.mean_gap;
+        let client = Random.State.int cli_rng c.clients in
+        let seq = seq_ctr.(client) in
+        seq_ctr.(client) <- seq + 1;
+        let op =
+          match Workload.next wl with
+          | Workload.Insert k -> Service.Put (k, k + 1)
+          | Workload.Delete k -> Service.Del k
+          | Workload.Lookup k -> Service.Get k
+        in
+        { a_client = client; a_seq = seq; a_op = op; a_time = !clock })
+  in
+
+  (* ---- oracle state (plain OCaml: survives simulated crashes) ---- *)
+  let recs : (int * int, rec_) Hashtbl.t = Hashtbl.create (2 * c.requests) in
+  Array.iter
+    (fun a ->
+      Hashtbl.replace recs (a.a_client, a.a_seq)
+        { r_arrival = a.a_time;
+          r_op = a.a_op;
+          r_acks = 0;
+          r_ack_res = None;
+          r_applies = 0 })
+    arrivals;
+  let violations = ref [] in
+  let violation fmt =
+    Printf.ksprintf
+      (fun s -> if List.length !violations < 32 then violations := s :: !violations)
+      fmt
+  in
+  let rec_of (r : Service.request) =
+    match Hashtbl.find_opt recs (r.client, r.seq) with
+    | Some x -> Some x
+    | None ->
+      violation "unknown request client=%d seq=%d" r.client r.seq;
+      None
+  in
+  let completed = ref 0 in
+  let applies = ref 0 in
+  let resent = ref 0 in
+  let dedup_acks = ref 0 in
+  let audit_mode = ref false in
+  let audit_acks = ref 0 in
+  let audit_expected = ref 0 in
+  let latencies = Array.make c.requests 0 in
+  let last_acked = Array.make c.clients (-1) in
+  let issued : Service.request option array = Array.make c.clients None in
+  let backlog : Service.request Queue.t array =
+    Array.init c.clients (fun _ -> Queue.create ())
+  in
+  let issue (r : Service.request) =
+    issued.(r.client) <- Some r;
+    Service.submit svc r
+  in
+
+  Service.set_on_apply svc (fun req _res ->
+      incr applies;
+      match rec_of req with
+      | None -> ()
+      | Some x ->
+        x.r_applies <- x.r_applies + 1;
+        if !audit_mode then
+          violation "audit: client=%d seq=%d re-applied after final ack"
+            req.client req.seq
+        else if x.r_acks > 0 then
+          violation "client=%d seq=%d applied after acknowledgement"
+            req.client req.seq);
+
+  Service.set_on_ack svc (fun req res ~dedup ->
+      match rec_of req with
+      | None -> ()
+      | Some x ->
+        if !audit_mode then begin
+          if not dedup then
+            violation "audit: client=%d seq=%d fresh ack, expected dedup"
+              req.client req.seq;
+          (match x.r_ack_res with
+          | Some r0 when r0 = res -> ()
+          | _ ->
+            violation "audit: client=%d seq=%d answered %s, recorded %s"
+              req.client req.seq
+              (Format.asprintf "%a" Service.pp_result res)
+              (match x.r_ack_res with
+              | Some r0 -> Format.asprintf "%a" Service.pp_result r0
+              | None -> "nothing"));
+          incr audit_acks;
+          if !audit_acks >= !audit_expected then Service.request_stop svc
+        end
+        else begin
+          if dedup then incr dedup_acks;
+          x.r_acks <- x.r_acks + 1;
+          if x.r_acks > 1 then
+            violation "client=%d seq=%d acknowledged twice" req.client req.seq
+          else begin
+            x.r_ack_res <- Some res;
+            if !completed < Array.length latencies then
+              latencies.(!completed) <- Machine.now m - x.r_arrival;
+            incr completed;
+            if req.seq > last_acked.(req.client) then
+              last_acked.(req.client) <- req.seq;
+            issued.(req.client) <- None;
+            (match Queue.take_opt backlog.(req.client) with
+            | Some nxt -> issue nxt
+            | None -> ());
+            if !completed = c.requests then Service.request_stop svc
+          end
+        end);
+
+  (* ---- driver thread: release arrivals at their scheduled times ---- *)
+  let cursor = ref 0 in
+  let driver () =
+    let rec loop () =
+      if !cursor < Array.length arrivals then begin
+        let a = arrivals.(!cursor) in
+        let now = Machine.now m in
+        if now < a.a_time then begin
+          Machine.sleep m (a.a_time - now);
+          loop ()
+        end
+        else begin
+          incr cursor;
+          let r = { Service.client = a.a_client; seq = a.a_seq; op = a.a_op } in
+          if issued.(a.a_client) <> None then Queue.push r backlog.(a.a_client)
+          else issue r;
+          loop ()
+        end
+      end
+    in
+    loop ()
+  in
+
+  (* ---- era loop ---- *)
+  let before = Stats.copy (Machine.stats m) in
+  let fired = ref 0 in
+  let eras_count = ref 0 in
+  let stalled = ref false in
+  let spawn_era () =
+    incr eras_count;
+    Service.start svc m;
+    ignore (Machine.spawn m driver);
+    (* re-send every outstanding request, as the clients would (no-op
+       in the first era: nothing is outstanding yet) *)
+    Array.iter
+      (function
+        | Some r ->
+          incr resent;
+          Service.submit svc r
+        | None -> ())
+      issued
+  in
+  let watchdog_era () =
+    spawn_era ();
+    Machine.set_crash_at_step m (Machine.steps m + c.watchdog);
+    match Machine.run m with
+    | Machine.Completed ->
+      Machine.clear_crash m;
+      true
+    | Machine.Crashed_at _ ->
+      stalled := true;
+      violation "stalled: watchdog fired after %d steps with %d/%d acked"
+        c.watchdog !completed c.requests;
+      false
+  in
+  let rec eras = function
+    | [] -> if !completed < c.requests then ignore (watchdog_era ())
+    | step :: rest ->
+      if !completed < c.requests then begin
+        spawn_era ();
+        Machine.set_crash_at_step m (Machine.steps m + step);
+        (match Machine.run m with
+        | Machine.Crashed_at _ ->
+          incr fired;
+          Service.recover svc;
+          eras rest
+        | Machine.Completed ->
+          Machine.clear_crash m;
+          eras rest)
+      end
+  in
+  eras c.crash_steps;
+  let main_steps = Machine.steps m in
+  let main_makespan = Machine.makespan m in
+  let stats = Stats.diff ~after:(Machine.stats m) ~before in
+
+  (* ---- final-state verification (setup mode) ---- *)
+  if not !stalled then begin
+    (try Service.check_invariants svc
+     with Failure msg -> violation "invariant: %s" msg);
+    let model : (int, int) Hashtbl.t = Hashtbl.create (2 * c.key_range) in
+    List.iter (fun k -> Hashtbl.replace model k k) prefill;
+    let apply_model (op : Service.op) : Service.result =
+      match op with
+      | Service.Put (k, v) ->
+        if Hashtbl.mem model k then Service.Done false
+        else begin
+          Hashtbl.replace model k v;
+          Service.Done true
+        end
+      | Service.Del k ->
+        if Hashtbl.mem model k then begin
+          Hashtbl.remove model k;
+          Service.Done true
+        end
+        else Service.Done false
+      | Service.Get k -> Service.Value (Hashtbl.find_opt model k)
+    in
+    let seen : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+    Array.iter
+      (fun log ->
+        List.iter
+          (fun (e : Service.entry) ->
+            let k = (e.e_client, e.e_seq) in
+            Hashtbl.replace seen k
+              (1 + Option.value (Hashtbl.find_opt seen k) ~default:0);
+            let r = apply_model e.e_op in
+            if !fired = 0 && r <> e.e_res then
+              violation "crash-free replay: client=%d seq=%d %s -> %s, log says %s"
+                e.e_client e.e_seq
+                (Format.asprintf "%a" Service.pp_op e.e_op)
+                (Format.asprintf "%a" Service.pp_result r)
+                (Format.asprintf "%a" Service.pp_result e.e_res))
+          log)
+      (Service.committed_log svc);
+    Hashtbl.iter
+      (fun (cl, sq) n ->
+        if n > 1 then
+          violation "client=%d seq=%d committed %d times" cl sq n)
+      seen;
+    Hashtbl.iter
+      (fun (cl, sq) (x : rec_) ->
+        if x.r_acks > 0 then begin
+          if Hashtbl.find_opt seen (cl, sq) <> Some 1 then
+            violation "client=%d seq=%d acknowledged but not committed" cl sq;
+          if !fired = 0 && x.r_applies <> 1 then
+            violation "crash-free: client=%d seq=%d applied %d times" cl sq
+              x.r_applies
+        end)
+      recs;
+    let actual = Service.contents svc in
+    let expected =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) model [] |> List.sort compare
+    in
+    if actual <> expected then
+      violation
+        "state divergence: store has %d pairs, committed-log replay has %d \
+         (acknowledged work lost or uncommitted work acknowledged)"
+        (List.length actual) (List.length expected)
+  end;
+
+  (* ---- audit pass: every client re-sends its last acked request ---- *)
+  let do_audit = c.audit && (not !stalled) && !completed = c.requests in
+  if do_audit then begin
+    audit_mode := true;
+    audit_expected :=
+      Array.fold_left (fun n s -> if s >= 0 then n + 1 else n) 0 last_acked;
+    if !audit_expected > 0 then begin
+      Array.iteri
+        (fun client seq ->
+          if seq >= 0 then
+            match Hashtbl.find_opt recs (client, seq) with
+            | Some x -> Service.submit svc { Service.client; seq; op = x.r_op }
+            | None -> ())
+        last_acked;
+      Service.start svc m;
+      Machine.set_crash_at_step m (Machine.steps m + c.watchdog);
+      match Machine.run m with
+      | Machine.Completed -> Machine.clear_crash m
+      | Machine.Crashed_at _ ->
+        violation "audit stalled: %d/%d dedup acks" !audit_acks
+          !audit_expected
+    end
+  end;
+
+  let lat = Array.sub latencies 0 (min !completed c.requests) in
+  Array.sort compare lat;
+  let latency =
+    { p50 = percentile lat 0.50;
+      p95 = percentile lat 0.95;
+      p99 = percentile lat 0.99;
+      lmax = (if Array.length lat = 0 then 0 else lat.(Array.length lat - 1));
+      mean =
+        (if Array.length lat = 0 then 0.0
+         else
+           float_of_int (Array.fold_left ( + ) 0 lat)
+           /. float_of_int (Array.length lat)) }
+  in
+  { config = c;
+    acked = !completed;
+    applies = !applies;
+    resent = !resent;
+    dedup_acks = !dedup_acks;
+    audit_acks = !audit_acks;
+    crashes_requested = List.length c.crash_steps;
+    crashes_fired = !fired;
+    eras = !eras_count;
+    makespan = main_makespan;
+    steps = main_steps;
+    committed = Service.committed_total svc;
+    latency;
+    stats;
+    violations = List.rev !violations }
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let fences_per_op r =
+  if r.acked = 0 then 0.0
+  else float_of_int r.stats.Stats.fences /. float_of_int r.acked
+
+let flushes_per_op r =
+  if r.acked = 0 then 0.0
+  else float_of_int r.stats.Stats.flushes /. float_of_int r.acked
+
+let pp_report ppf r =
+  let c = r.config in
+  Format.fprintf ppf
+    "@[<v>service %s/%s shards=%d clients=%d mode=%s dist=%s\n" c.structure
+    c.flavour c.shards c.clients
+    (Service.mode_name c.mode)
+    (if c.skew <= 0.0 then "uniform" else Printf.sprintf "zipf(%.2f)" c.skew);
+  Format.fprintf ppf
+    "  acked %d/%d  applies %d  resent %d  dedup %d  audit %d@,"
+    r.acked c.requests r.applies r.resent r.dedup_acks r.audit_acks;
+  Format.fprintf ppf "  crashes %d/%d  eras %d  steps %d  makespan %d@,"
+    r.crashes_fired r.crashes_requested r.eras r.steps r.makespan;
+  Format.fprintf ppf
+    "  latency p50 %d  p95 %d  p99 %d  max %d  mean %.1f@,"
+    r.latency.p50 r.latency.p95 r.latency.p99 r.latency.lmax r.latency.mean;
+  Format.fprintf ppf "  fences/op %.3f  flushes/op %.3f  committed %d@,"
+    (fences_per_op r) (flushes_per_op r) r.committed;
+  Format.fprintf ppf "  %a@," Stats.pp r.stats;
+  Format.fprintf ppf "  sites:@,    %a@," Stats.pp_sites r.stats;
+  (match r.violations with
+  | [] -> Format.fprintf ppf "  exactly-once: OK@,"
+  | vs ->
+    Format.fprintf ppf "  VIOLATIONS (%d):@," (List.length vs);
+    List.iter (fun v -> Format.fprintf ppf "    %s@," v) vs);
+  Format.fprintf ppf "@]"
+
+let mode_json (r : report) : Nvt_harness.Json.t =
+  let open Nvt_harness.Json in
+  Obj
+    [ ("mode", Str (Service.mode_name r.config.mode));
+      ("acked", Int r.acked);
+      ("applies", Int r.applies);
+      ("resent", Int r.resent);
+      ("dedup_acks", Int r.dedup_acks);
+      ("audit_acks", Int r.audit_acks);
+      ("crashes_requested", Int r.crashes_requested);
+      ("crashes_fired", Int r.crashes_fired);
+      ("eras", Int r.eras);
+      ("steps", Int r.steps);
+      ("makespan", Int r.makespan);
+      ("committed", Int r.committed);
+      ( "latency",
+        Obj
+          [ ("p50", Int r.latency.p50);
+            ("p95", Int r.latency.p95);
+            ("p99", Int r.latency.p99);
+            ("max", Int r.latency.lmax);
+            ("mean", Float r.latency.mean) ] );
+      ("fences_per_op", Float (fences_per_op r));
+      ("flushes_per_op", Float (flushes_per_op r));
+      ( "totals",
+        Obj
+          [ ("flushes", Int r.stats.Stats.flushes);
+            ("fences", Int r.stats.Stats.fences);
+            ("cas", Int r.stats.Stats.cas);
+            ("reads", Int r.stats.Stats.reads);
+            ("writes", Int r.stats.Stats.writes) ] );
+      ("sites", Nvt_harness.Json.sites r.stats);
+      ("violations", List (List.map (fun v -> Str v) r.violations)) ]

@@ -1,0 +1,56 @@
+(** Open-loop load harness and crash laboratory for {!Service}: Poisson
+    arrivals over sequential client sessions, crash/recover eras with
+    client re-send, an exactly-once oracle, latency percentiles in
+    simulated time, and the [nvtraverse-service/1] JSON fragment. *)
+
+type config = {
+  structure : string;  (** registry key, e.g. ["hash"] *)
+  flavour : string;  (** registry key, e.g. ["nvt"] *)
+  shards : int;
+  clients : int;
+  requests : int;
+  mean_gap : int;  (** mean Poisson inter-arrival gap, time units *)
+  skew : float;  (** [0.] = uniform keys, else Zipf skew *)
+  update_pct : int;
+  key_range : int;
+  mode : Service.mode;
+  seed : int;
+  crash_steps : int list;
+  cost : Nvt_nvm.Cost_model.t;
+  eviction : Nvt_sim.Machine.eviction;
+  watchdog : int;  (** max steps per era before a stall is declared *)
+  audit : bool;  (** re-send every client's last acked request at end *)
+}
+
+val default_config : config
+
+type latency = { p50 : int; p95 : int; p99 : int; lmax : int; mean : float }
+
+type report = {
+  config : config;
+  acked : int;
+  applies : int;
+  resent : int;
+  dedup_acks : int;
+  audit_acks : int;
+  crashes_requested : int;
+  crashes_fired : int;
+  eras : int;
+  makespan : int;
+  steps : int;
+  committed : int;
+  latency : latency;
+  stats : Nvt_nvm.Stats.t;
+      (** main-run window: prefill and the audit pass excluded *)
+  violations : string list;
+      (** empty iff exactly-once semantics held (and nothing stalled) *)
+}
+
+val run : config -> report
+
+val fences_per_op : report -> float
+val flushes_per_op : report -> float
+val pp_report : Format.formatter -> report -> unit
+
+val mode_json : report -> Nvt_harness.Json.t
+(** The per-mode object of the [nvtraverse-service/1] schema. *)

@@ -1,0 +1,407 @@
+(* A sharded durable KV front-end over the simulated machine.
+
+   The key space is partitioned over N shards; each shard owns one
+   instance of a registry structure under a registry persistence policy
+   and is driven by one worker thread, so per-shard execution is
+   sequential and conflicts are always intra-shard.
+
+   Durability is a per-shard redo log plus a commit index, both written
+   through the active policy's memory:
+
+     entries[0..]   one cell per applied request
+                    {client; seq; op; result}
+     index          one cell: the durable prefix length
+
+   Commit protocol (per batch, executed by the committing thread):
+
+     flush every entry cell of the batch
+     fence                                  -- entries durable
+     write+flush each touched shard's index
+     fence                                  -- commit point
+     acknowledge the batch
+
+   Two fences are unavoidable: the simulator resolves a crash by
+   persisting each flushed-but-unfenced write-back independently, so
+   without the first fence the index could persist while an entry it
+   covers is lost. Both fences are the committing thread's own — the
+   machine's fence only completes the calling thread's write-backs,
+   which is why the group committer re-flushes the workers' entries
+   itself instead of relying on a "shared" fence.
+
+   Because the index commits a log *prefix*, an acknowledged request is
+   always in the durable log, and a request can never commit while an
+   earlier conflicting request of the same shard is uncommitted.
+
+   [Per_op] mode runs this protocol once per request on the worker;
+   [Group] mode hands completions to a dedicated committer thread that
+   batches them (size or timeout bound) under a single pair of fences —
+   group commit, the NVRAM analogue of group-commit logging.
+
+   Recovery reads each shard's durable index, truncates the volatile
+   log to it (dropping cells beyond: a crash may have left them
+   corrupt, and FliT's write instruments a read of the old value, so
+   overwriting a corrupt cell is not an option), replays nothing into
+   the store (the store recovers through its own policy), and rebuilds
+   the per-client deduplication table from the committed entries.
+   Re-sent requests whose record is committed are answered from the
+   table without touching the store — exactly-once acknowledgement. *)
+
+module Machine = Nvt_sim.Machine
+module Sim_mem = Nvt_sim.Memory
+module Stats = Nvt_nvm.Stats
+module I = Nvt_harness.Instances
+
+type op = Put of int * int | Del of int | Get of int
+
+let key_of_op = function Put (k, _) | Del k | Get k -> k
+
+let pp_op ppf = function
+  | Put (k, v) -> Format.fprintf ppf "put(%d,%d)" k v
+  | Del k -> Format.fprintf ppf "del(%d)" k
+  | Get k -> Format.fprintf ppf "get(%d)" k
+
+type result = Done of bool | Value of int option
+
+let pp_result ppf = function
+  | Done b -> Format.fprintf ppf "%b" b
+  | Value None -> Format.fprintf ppf "none"
+  | Value (Some v) -> Format.fprintf ppf "some %d" v
+
+type request = { client : int; seq : int; op : op }
+
+type mode = Per_op | Group of { batch : int; timeout : int }
+
+let mode_name = function
+  | Per_op -> "per_op"
+  | Group { batch; timeout = _ } -> Printf.sprintf "group%d" batch
+
+(* One committed-log record. Stored whole in a single cell: key, value
+   and result persist atomically with the identity, the simulator's
+   cell = cache-line granularity. *)
+type entry = { e_client : int; e_seq : int; e_op : op; e_res : result }
+
+(* The structure module is existential; close over its operations. *)
+type store = {
+  apply : op -> result;
+  st_recover : unit -> unit;
+  st_contents : unit -> (int * int) list;
+  st_check : unit -> unit;
+}
+
+(* Same for the ledger: its cells live in the active policy's memory,
+   whose [loc] type is existential too. *)
+type ledger = {
+  append : int -> entry -> unit;  (* slot -> record *)
+  flush_entry : int -> unit;
+  read_entry : int -> entry;
+  write_index : int -> unit;
+  flush_index : unit -> unit;
+  read_index : unit -> int;
+  truncate : int -> unit;  (* drop cells at slots >= the argument *)
+}
+
+type shard = {
+  store : store;
+  ledger : ledger;
+  queue : request Queue.t;  (* volatile inbox; lost at a crash *)
+  mutable next_slot : int;  (* volatile append cursor *)
+  mutable committed : int;  (* volatile mirror of the durable index *)
+}
+
+type completion = {
+  c_shard : int;
+  c_slot : int;
+  c_req : request;
+  c_res : result;
+  c_time : int;  (* apply time, starts the batch-timeout clock *)
+}
+
+(* Last applied request per client, for deduplication of re-sends. *)
+type dedup = { d_seq : int; d_res : result; d_shard : int; d_slot : int }
+
+type t = {
+  mode : mode;
+  shards : shard array;
+  last : (int, dedup) Hashtbl.t;  (* volatile; rebuilt in recovery *)
+  pending : completion Queue.t;  (* group mode: awaiting the epoch fence *)
+  mutable stop : bool;
+  mutable on_apply : request -> result -> unit;
+  mutable on_ack : request -> result -> dedup:bool -> unit;
+  policy_recover : unit -> unit;
+  svc_fence : string -> unit;
+  poll_quantum : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let mk_store (structure : (module I.STRUCTURE)) (policy : I.policy) : store =
+  let module S = (val I.instantiate structure policy) in
+  let s = S.create () in
+  { apply =
+      (fun op ->
+        match op with
+        | Put (k, v) -> Done (S.insert s ~key:k ~value:v)
+        | Del k -> Done (S.delete s k)
+        | Get k -> Value (S.find s k));
+    st_recover = (fun () -> S.recover s);
+    st_contents = (fun () -> S.to_list s);
+    st_check = (fun () -> S.check_invariants s) }
+
+let mk_ledger (module LMem : Nvt_nvm.Memory.S) () : ledger =
+  let cells = ref (Array.make 64 (None : entry LMem.loc option)) in
+  let index = LMem.alloc 0 in
+  let cell slot =
+    match !cells.(slot) with
+    | Some c -> c
+    | None -> invalid_arg "service ledger: read of an absent slot"
+  in
+  let append slot e =
+    let n = Array.length !cells in
+    if slot >= n then begin
+      let bigger = Array.make (max (2 * n) (slot + 1)) None in
+      Array.blit !cells 0 bigger 0 n;
+      cells := bigger
+    end;
+    match !cells.(slot) with
+    | Some c -> LMem.write c e
+    | None -> !cells.(slot) <- Some (LMem.alloc e)
+  in
+  { append;
+    flush_entry =
+      (fun slot ->
+        Stats.set_site "svc:ledger_flush";
+        LMem.flush (cell slot));
+    read_entry = (fun slot -> LMem.read (cell slot));
+    write_index = (fun i -> LMem.write index i);
+    flush_index =
+      (fun () ->
+        Stats.set_site "svc:commit_flush";
+        LMem.flush index);
+    read_index = (fun () -> LMem.read index);
+    truncate =
+      (fun from ->
+        for i = from to Array.length !cells - 1 do
+          !cells.(i) <- None
+        done) }
+
+let shard_of t k =
+  (k * 0x9e3779b1) land max_int mod Array.length t.shards
+
+let create ?(poll_quantum = 100) ~structure ~(flavour : I.flavour)
+    ~shards:n ~mode () =
+  if n < 1 then invalid_arg "service: shards must be >= 1";
+  let policy = flavour.policy in
+  let (module Pol : I.POLICY) = policy in
+  let module L = Pol.Apply (Sim_mem) in
+  let shards =
+    Array.init n (fun _ ->
+        { store = mk_store structure policy;
+          ledger = mk_ledger (module L.Mem) ();
+          queue = Queue.create ();
+          next_slot = 0;
+          committed = 0 })
+  in
+  { mode;
+    shards;
+    last = Hashtbl.create 64;
+    pending = Queue.create ();
+    stop = false;
+    on_apply = (fun _ _ -> ());
+    on_ack = (fun _ _ ~dedup:_ -> ());
+    policy_recover = L.recover;
+    svc_fence =
+      (fun site ->
+        Stats.set_site site;
+        L.Mem.fence ());
+    poll_quantum }
+
+let set_on_apply t f = t.on_apply <- f
+let set_on_ack t f = t.on_ack <- f
+let shard_count t = Array.length t.shards
+let request_stop t = t.stop <- true
+
+(* Direct store access for prefill (bypasses the ledger and hooks; use
+   in setup mode, then [Machine.persist_all]). *)
+let prefill t keys =
+  List.iter
+    (fun k -> ignore (t.shards.(shard_of t k).store.apply (Put (k, k))))
+    keys
+
+(* ------------------------------------------------------------------ *)
+(* Commit protocol                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Flush the batch's entry cells; one fence (entries durable); advance
+   and flush each touched shard's index; one fence (commit point);
+   acknowledge. All flushes are issued by the calling thread so that
+   its fences cover them. *)
+let commit t = function
+  | [] -> ()
+  | items ->
+    List.iter
+      (fun it -> t.shards.(it.c_shard).ledger.flush_entry it.c_slot)
+      items;
+    t.svc_fence "svc:ledger_fence";
+    let touched = Hashtbl.create 8 in
+    List.iter
+      (fun it ->
+        let cur =
+          match Hashtbl.find_opt touched it.c_shard with
+          | Some i -> i
+          | None -> t.shards.(it.c_shard).committed
+        in
+        if it.c_slot + 1 > cur then Hashtbl.replace touched it.c_shard (it.c_slot + 1))
+      items;
+    Hashtbl.iter
+      (fun si idx ->
+        let sh = t.shards.(si) in
+        sh.ledger.write_index idx;
+        sh.ledger.flush_index ())
+      touched;
+    t.svc_fence "svc:commit_fence";
+    Hashtbl.iter (fun si idx -> t.shards.(si).committed <- idx) touched;
+    List.iter (fun it -> t.on_ack it.c_req it.c_res ~dedup:false) items
+
+(* ------------------------------------------------------------------ *)
+(* Worker / committer threads                                          *)
+(* ------------------------------------------------------------------ *)
+
+let process t shard_ix req =
+  let sh = t.shards.(shard_ix) in
+  match Hashtbl.find_opt t.last req.client with
+  | Some d when d.d_seq > req.seq ->
+    (* duplicate of a request already superseded by a later one from
+       the same (sequential) client: it was acknowledged long ago *)
+    ()
+  | Some d when d.d_seq = req.seq ->
+    (* re-sent request: answer from the ledger iff its record is
+       committed; if it is still in flight the original completion
+       will acknowledge it, and acknowledging here would ack an
+       operation that is not yet durable *)
+    let dsh = t.shards.(d.d_shard) in
+    if dsh.committed > d.d_slot then t.on_ack req d.d_res ~dedup:true
+  | _ ->
+    let res = sh.store.apply req.op in
+    t.on_apply req res;
+    let slot = sh.next_slot in
+    sh.ledger.append slot
+      { e_client = req.client; e_seq = req.seq; e_op = req.op; e_res = res };
+    sh.next_slot <- slot + 1;
+    Hashtbl.replace t.last req.client
+      { d_seq = req.seq; d_res = res; d_shard = shard_ix; d_slot = slot };
+    let it =
+      { c_shard = shard_ix;
+        c_slot = slot;
+        c_req = req;
+        c_res = res;
+        c_time = Machine.now (Machine.get ()) }
+    in
+    (match t.mode with
+    | Per_op -> commit t [ it ]
+    | Group _ -> Queue.push it t.pending)
+
+let worker t shard_ix () =
+  let m = Machine.get () in
+  let sh = t.shards.(shard_ix) in
+  let rec loop () =
+    match Queue.take_opt sh.queue with
+    | Some req ->
+      process t shard_ix req;
+      loop ()
+    | None ->
+      if not t.stop then begin
+        Machine.sleep m t.poll_quantum;
+        loop ()
+      end
+  in
+  loop ()
+
+let committer t ~batch ~timeout () =
+  let m = Machine.get () in
+  let rec loop () =
+    let n = Queue.length t.pending in
+    if n = 0 then begin
+      if not t.stop then begin
+        Machine.sleep m t.poll_quantum;
+        loop ()
+      end
+    end
+    else begin
+      let oldest = (Queue.peek t.pending).c_time in
+      if n >= batch || Machine.now m - oldest >= timeout || t.stop then begin
+        let items = List.of_seq (Queue.to_seq t.pending) in
+        Queue.clear t.pending;
+        commit t items;
+        loop ()
+      end
+      else begin
+        Machine.sleep m t.poll_quantum;
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+(* Spawn the shard workers (and, in group mode, the committer) on the
+   machine. Threads exit once [request_stop] was called and their
+   queues are drained. *)
+let start t m =
+  t.stop <- false;
+  Array.iteri (fun i _ -> ignore (Machine.spawn m (worker t i))) t.shards;
+  match t.mode with
+  | Group { batch; timeout } ->
+    ignore (Machine.spawn m (committer t ~batch ~timeout))
+  | Per_op -> ()
+
+let submit t req =
+  Queue.push req t.shards.(shard_of t (key_of_op req.op)).queue
+
+(* ------------------------------------------------------------------ *)
+(* Recovery                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let recover t =
+  t.policy_recover ();
+  t.stop <- false;
+  Queue.clear t.pending;
+  Hashtbl.reset t.last;
+  Array.iteri
+    (fun si sh ->
+      sh.store.st_recover ();
+      Queue.clear sh.queue;
+      let idx = sh.ledger.read_index () in
+      sh.ledger.truncate idx;
+      sh.committed <- idx;
+      sh.next_slot <- idx;
+      for slot = 0 to idx - 1 do
+        let e = sh.ledger.read_entry slot in
+        match Hashtbl.find_opt t.last e.e_client with
+        | Some d when d.d_seq >= e.e_seq -> ()
+        | _ ->
+          Hashtbl.replace t.last e.e_client
+            { d_seq = e.e_seq; d_res = e.e_res; d_shard = si; d_slot = slot }
+      done)
+    t.shards
+
+(* ------------------------------------------------------------------ *)
+(* Introspection (quiescent / setup-mode use only)                     *)
+(* ------------------------------------------------------------------ *)
+
+let contents t =
+  Array.to_list t.shards
+  |> List.concat_map (fun sh -> sh.store.st_contents ())
+  |> List.sort compare
+
+let check_invariants t =
+  Array.iter (fun sh -> sh.store.st_check ()) t.shards
+
+(* The committed log of each shard, in log order. *)
+let committed_log t =
+  Array.map
+    (fun sh -> List.init sh.committed sh.ledger.read_entry)
+    t.shards
+
+let committed_total t =
+  Array.fold_left (fun acc sh -> acc + sh.committed) 0 t.shards

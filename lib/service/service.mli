@@ -1,0 +1,93 @@
+(** A sharded durable KV front-end over the simulated machine.
+
+    Keys are partitioned over N shards, each an instance of a registry
+    structure under a registry persistence policy, driven by one worker
+    thread. Requests are acknowledged only after their record in a
+    per-shard redo log (written through the same policy's memory) is
+    committed by a flush/fence/index/flush/fence protocol — either per
+    operation, or batched under a single pair of fences by a dedicated
+    committer thread (group persistence). Recovery truncates each log
+    to its durable commit index and rebuilds the per-client
+    deduplication table from the committed records, so re-sent
+    acknowledged requests are answered from the ledger without being
+    re-applied. *)
+
+type op = Put of int * int | Del of int | Get of int
+
+val key_of_op : op -> int
+val pp_op : Format.formatter -> op -> unit
+
+type result = Done of bool | Value of int option
+
+val pp_result : Format.formatter -> result -> unit
+
+type request = { client : int; seq : int; op : op }
+(** Clients are sequential sessions: a client submits [seq] n+1 only
+    after [seq] n was acknowledged, and may re-send its outstanding
+    request after a crash. *)
+
+type mode =
+  | Per_op  (** commit (2 fences) on the worker, per request *)
+  | Group of { batch : int; timeout : int }
+      (** a committer thread batches completions until [batch] of them
+          accumulated or the oldest waited [timeout] time units, then
+          commits the batch under one pair of fences *)
+
+val mode_name : mode -> string
+
+type entry = { e_client : int; e_seq : int; e_op : op; e_res : result }
+(** One committed-log record. *)
+
+type t
+
+val create :
+  ?poll_quantum:int ->
+  structure:(module Nvt_harness.Instances.STRUCTURE) ->
+  flavour:Nvt_harness.Instances.flavour ->
+  shards:int ->
+  mode:mode ->
+  unit ->
+  t
+(** Build the shards and their ledgers on the current machine (call in
+    setup mode). [poll_quantum] is the timed-wait length idle threads
+    sleep between queue polls (default 100). *)
+
+val prefill : t -> int list -> unit
+(** Load keys (value = key) directly into the shard stores, bypassing
+    ledger and hooks; setup mode, follow with
+    {!Nvt_sim.Machine.persist_all}. *)
+
+val start : t -> Nvt_sim.Machine.t -> unit
+(** Spawn the shard workers (and the committer in group mode). Threads
+    exit once {!request_stop} was called and their queues drained. *)
+
+val submit : t -> request -> unit
+(** Enqueue a request on its shard's inbox (volatile: submissions not
+    yet applied are lost at a crash and must be re-sent). *)
+
+val request_stop : t -> unit
+
+val recover : t -> unit
+(** After {!Nvt_sim.Machine.run} returned [Crashed_at]: run the
+    policy's and every shard store's recovery, truncate each ledger to
+    its durable commit index, rebuild the deduplication table. *)
+
+val set_on_apply : t -> (request -> result -> unit) -> unit
+(** Called on the worker after a request was applied to a shard store
+    (not for deduplicated re-sends). Test oracle hook. *)
+
+val set_on_ack : t -> (request -> result -> dedup:bool -> unit) -> unit
+(** Called when a request is acknowledged: after its commit fence, or
+    with [~dedup:true] when a re-sent committed request was answered
+    from the ledger. *)
+
+(** {1 Introspection} (quiescent / setup-mode use only) *)
+
+val shard_count : t -> int
+val contents : t -> (int * int) list
+val check_invariants : t -> unit
+
+val committed_log : t -> entry list array
+(** Per shard, the committed records in log order. *)
+
+val committed_total : t -> int

@@ -409,6 +409,16 @@ let flush c =
   end;
   yield m
 
+(* A timed wait: the thread gives up [n] units of virtual time and
+   yields, without touching memory. This is how service threads model
+   polling backoff and batch timeouts — a spin on a real cell would pay
+   a read (and a scheduling step) per unit of waiting. *)
+let sleep m n =
+  if m.running != dummy_thread && n > 0 then begin
+    charge m n;
+    yield m
+  end
+
 let fence () =
   let m = get () in
   let site = Stats.take_site () in

@@ -149,6 +149,12 @@ val persist_all : t -> unit
 (** Persist every dirty cell immediately; call after pre-filling so runs
     start from a fully persistent state. *)
 
+val sleep : t -> int -> unit
+(** Advance the calling thread's virtual time by [n] units and yield: a
+    timed wait that touches no memory. Service threads use it for
+    polling backoff and batch timeouts. No-op outside {!run} (setup
+    mode) or when [n <= 0]. *)
+
 (** {1 Memory operations}
 
     These implement the {!Nvt_nvm.Memory.S} semantics on the current

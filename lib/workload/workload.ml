@@ -28,12 +28,74 @@ let ycsb_c = updates ~pct:0
 
 let update_pct mix = mix.insert_pct + mix.delete_pct
 
-type gen = { rng : Random.State.t; mix : mix; range : int }
+(* Key distributions. [Zipf s] draws rank r with probability
+   proportional to 1/r^s (s = 0 degenerates to uniform); the rank->key
+   map is a seeded shuffle of the range so the hot keys scatter across
+   the key space (and across hash buckets / tree paths) instead of
+   clustering at 0, 1, 2, ... *)
+type dist = Uniform | Zipf of float
 
-let gen ~seed ~mix ~range = { rng = Random.State.make [| seed; 0xf00d |]; mix; range }
+type zipf = {
+  cum : float array;  (* normalized cumulative weights, cum.(range-1) = 1 *)
+  perm : int array;  (* rank -> key *)
+}
+
+type gen = {
+  rng : Random.State.t;
+  mix : mix;
+  range : int;
+  zipf : zipf option;
+}
+
+let zipf_tables ~seed ~range ~s =
+  let cum = Array.make range 0.0 in
+  let acc = ref 0.0 in
+  for r = 0 to range - 1 do
+    acc := !acc +. (1.0 /. Float.pow (float_of_int (r + 1)) s);
+    cum.(r) <- !acc
+  done;
+  let total = !acc in
+  Array.iteri (fun r c -> cum.(r) <- c /. total) cum;
+  let perm = Array.init range Fun.id in
+  let rng = Random.State.make [| seed; range; 0x21f |] in
+  for i = range - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = perm.(i) in
+    perm.(i) <- perm.(j);
+    perm.(j) <- t
+  done;
+  { cum; perm }
+
+let gen_dist ~dist ~seed ~mix ~range =
+  { rng = Random.State.make [| seed; 0xf00d |];
+    mix;
+    range;
+    zipf =
+      (match dist with
+      | Uniform -> None
+      | Zipf s -> Some (zipf_tables ~seed ~range ~s)) }
+
+let gen ~seed ~mix ~range = gen_dist ~dist:Uniform ~seed ~mix ~range
+
+(* The uniform path must keep drawing [Random.State.int rng range]: the
+   scheduler determinism tests pin a golden schedule generated through
+   it, so the skewed variant hangs off a separate (float) draw rather
+   than changing the shared one. *)
+let next_key g =
+  match g.zipf with
+  | None -> Random.State.int g.rng g.range
+  | Some z ->
+    let u = Random.State.float g.rng 1.0 in
+    (* smallest rank r with cum.(r) >= u, by binary search *)
+    let lo = ref 0 and hi = ref (g.range - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if z.cum.(mid) >= u then hi := mid else lo := mid + 1
+    done;
+    z.perm.(!lo)
 
 let next g =
-  let k = Random.State.int g.rng g.range in
+  let k = next_key g in
   let p = Random.State.int g.rng 100 in
   if p < g.mix.insert_pct then Insert k
   else if p < g.mix.insert_pct + g.mix.delete_pct then Delete k

@@ -20,10 +20,27 @@ val ycsb_c : mix  (** read-only *)
 
 val update_pct : mix -> int
 
+type dist =
+  | Uniform
+  | Zipf of float
+      (** key rank [r] drawn with probability proportional to [1/r^s];
+          [Zipf 0.] is uniform, [Zipf 0.99] the YCSB default skew. The
+          rank->key map is a seeded shuffle of the range, so the hot
+          keys scatter across the key space. *)
+
 type gen
 
 val gen : seed:int -> mix:mix -> range:int -> gen
+(** Uniform keys; draw-for-draw identical to the pre-[dist] generator
+    (the scheduler determinism suite pins a golden schedule through
+    it). *)
+
+val gen_dist : dist:dist -> seed:int -> mix:mix -> range:int -> gen
+
 val next : gen -> op
+
+val next_key : gen -> int
+(** One key draw from the generator's distribution (no op mix draw). *)
 
 val prefill_keys : range:int -> int list
 (** [range/2] distinct keys in [0, range), deterministically shuffled so

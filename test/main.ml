@@ -16,6 +16,7 @@ let () =
       ("priority_queue", Test_pqueue.suite);
       ("native_domains", Test_native.suite);
       ("crash_sweep", Test_crash_sweep.suite);
+      ("service", Test_service.suite);
       ("telemetry", Test_telemetry.suite);
       ("ablation", Test_ablation.suite);
       ("recovery", Test_recovery.suite);

@@ -308,6 +308,62 @@ let workload_contract =
       let observed = 100 * !updates / n in
       abs (observed - pct) <= 5)
 
+(* The skewed generator: the empirical mass of the top frequency ranks
+   must match the Zipf(s) prediction, steeper skews must concentrate
+   more mass, and the draw sequence must be seed-deterministic. *)
+let zipf_top_mass ~seed ~s ~range ~n ~top =
+  let module W = Nvt_workload.Workload in
+  let g = W.gen_dist ~dist:(W.Zipf s) ~seed ~mix:W.default ~range in
+  let counts = Array.make range 0 in
+  for _ = 1 to n do
+    let k = W.next_key g in
+    counts.(k) <- counts.(k) + 1
+  done;
+  let f = Array.copy counts in
+  Array.sort (fun a b -> compare b a) f;
+  let sum = ref 0 in
+  for r = 0 to top - 1 do
+    sum := !sum + f.(r)
+  done;
+  float_of_int !sum /. float_of_int n
+
+let zipf_rank_follows_skew =
+  QCheck.Test.make ~count:40 ~name:"zipf frequency rank follows the skew"
+    QCheck.(
+      pair (int_bound 1000)
+        (map (fun x -> 0.5 +. (float_of_int x /. 100.0)) (int_bound 70)))
+    (fun (seed, s) ->
+      let range = 64 and n = 20_000 and top = 8 in
+      let harmonic upto =
+        let h = ref 0.0 in
+        for r = 1 to upto do
+          h := !h +. (1.0 /. Float.pow (float_of_int r) s)
+        done;
+        !h
+      in
+      let expected = harmonic top /. harmonic range in
+      let observed = zipf_top_mass ~seed ~s ~range ~n ~top in
+      Float.abs (observed -. expected) <= 0.06)
+
+let zipf_steeper_is_hotter =
+  QCheck.Test.make ~count:30 ~name:"steeper zipf skew concentrates more mass"
+    (QCheck.int_bound 1000)
+    (fun seed ->
+      let mass s = zipf_top_mass ~seed ~s ~range:128 ~n:10_000 ~top:4 in
+      mass 1.2 > mass 0.6 +. 0.05)
+
+let zipf_deterministic =
+  QCheck.Test.make ~count:30 ~name:"zipf draws are seed-deterministic"
+    QCheck.(pair (int_bound 1000) (int_bound 99))
+    (fun (seed, s100) ->
+      let module W = Nvt_workload.Workload in
+      let s = 0.5 +. (float_of_int s100 /. 100.0) in
+      let draw () =
+        let g = W.gen_dist ~dist:(W.Zipf s) ~seed ~mix:W.default ~range:64 in
+        List.init 200 (fun _ -> W.next_key g)
+      in
+      draw () = draw ())
+
 let prefill_contract =
   QCheck.Test.make ~count:50 ~name:"prefill keys are distinct and in range"
     QCheck.(map (fun n -> 2 + (2 * n)) (int_bound 2000))
@@ -341,6 +397,9 @@ let suite =
       checker_rejects_corruption;
       determinism;
       workload_contract;
+      zipf_rank_follows_skew;
+      zipf_steeper_is_hotter;
+      zipf_deterministic;
       prefill_contract ]
   @ [ Alcotest.test_case "flit lookups flush less than izraelevitz" `Quick
         flit_flushes_below_izraelevitz ]
