@@ -198,6 +198,75 @@ let run s_name p_name threads ops range seed updates eviction stall crashes
   if List.exists not verdicts then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* mutate: the persistence-site mutation battery                       *)
+(* ------------------------------------------------------------------ *)
+
+module Mutlab = H.Mutlab
+
+let quick_flag =
+  Arg.(
+    value & flag
+    & info [ "quick" ]
+        ~doc:"Quick scale (the default): the battery CI runs per push.")
+
+let deep_flag =
+  Arg.(
+    value & flag
+    & info [ "deep" ]
+        ~doc:"Deep scale: every-step crash points, wider window and \
+              seed sweeps, all five structures (the nightly battery).")
+
+let mut_structures =
+  Arg.(
+    value & opt_all string []
+    & info [ "structure"; "s" ] ~docv:"NAME"
+        ~doc:"Structure to mutate (repeatable; default: the scale's \
+              structure set).")
+
+let mut_policies =
+  Arg.(
+    value & opt_all string []
+    & info [ "policy"; "p" ] ~docv:"NAME"
+        ~doc:"Restrict to this policy (repeatable; default: every \
+              registry flavour).")
+
+let mut_out =
+  Arg.(
+    value
+    & opt string "MUTATION_report.json"
+    & info [ "out"; "o" ] ~docv:"FILE"
+        ~doc:"Where to write the nvtraverse-mutation/1 report.")
+
+let mutate quick deep structures policies out =
+  if quick && deep then begin
+    prerr_endline "--quick and --deep are mutually exclusive";
+    exit 2
+  end;
+  let sc = if deep then Mutlab.deep else Mutlab.quick in
+  List.iter
+    (fun s ->
+      if not (List.mem_assoc s I.structures) then begin
+        Printf.eprintf "unknown structure %s (available: %s)\n" s
+          (String.concat ", " (List.map fst I.structures));
+        exit 2
+      end)
+    structures;
+  List.iter
+    (fun p ->
+      if I.flavour p = None then begin
+        Printf.eprintf "unknown policy %s (available: %s)\n" p
+          (String.concat ", "
+             (List.map (fun (f : I.flavour) -> f.key) I.flavours));
+        exit 2
+      end)
+    policies;
+  let r = Mutlab.run ~structures ~policies sc in
+  Format.printf "%a" Mutlab.pp_report r;
+  H.Json.write_file out (Mutlab.to_json r);
+  Printf.printf "report:     %s\n" out;
+  if not (Mutlab.gate_ok (Mutlab.gate_of r)) then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* serve: the sharded durable service under open-loop load             *)
 (* ------------------------------------------------------------------ *)
 
@@ -306,6 +375,17 @@ let () =
          ~doc:"Seeded workload on one structure with crash injection")
       run_term
   in
+  let mutate_cmd =
+    Cmd.v
+      (Cmd.info "mutate"
+         ~doc:"Persistence-site mutation battery: suppress each named \
+               flush/fence site in turn and prove a durability violation \
+               (Section 4.3's necessity claim), flagging unkilled sites \
+               as candidate-redundant")
+      Term.(
+        const mutate $ quick_flag $ deep_flag $ mut_structures $ mut_policies
+        $ mut_out)
+  in
   let serve_cmd =
     Cmd.v
       (Cmd.info "serve"
@@ -321,4 +401,4 @@ let () =
        (Cmd.group ~default:run_term
           (Cmd.info "nvtsim"
              ~doc:"Crash laboratory for durable lock-free data structures")
-          [ run_cmd; serve_cmd ]))
+          [ run_cmd; mutate_cmd; serve_cmd ]))

@@ -41,66 +41,51 @@ module Make (M : Nvt_nvm.Memory.S) (P : Nvt_nvm.Persist.Make(M).S) = struct
 
   type 'r verdict = Restart | Finish of 'r
 
-  (* Testing hook: selectively disable one class of injected
-     instructions. Section 4.3 claims each class is necessary —
-     "removing any of them could violate the correctness of some
-     NVTraverse data structure" — and the ablation tests demonstrate it
-     by driving each disabled variant to a durability violation. *)
-  type ablation = {
-    skip_ensure_reachable : bool;
-    skip_persist_set : bool;  (* makePersistent's flushes (fence kept) *)
-    skip_final_fence : bool;  (* the fence before the operation returns *)
-  }
-
-  let no_ablation =
-    { skip_ensure_reachable = false;
-      skip_persist_set = false;
-      skip_final_fence = false }
-
-  let ablation = ref no_ablation
-
   (* Attribution: each engine placement names its site so the per-site
      flush table separates the traversal/critical boundary cost from
      Protocol 2's per-access cost. Tag only when the policy's flushes
      are real — under [Volatile] the instruction is erased and a
-     pending tag would leak onto the next counted access. *)
+     pending tag would leak onto the next counted access.
+
+     Each placement also consults {!Nvt_nvm.Suppress} under its site
+     name: the mutation harness disables one site at a time and drives
+     the crippled engine to a durability violation, demonstrating the
+     Section 4.3 necessity claim per instruction site rather than per
+     class. The suppression check short-circuits when the policy is
+     erased, so volatile runs neither tag nor count skips. *)
   let tag site = if P.enabled then Nvt_nvm.Stats.set_site site
+
+  let flush_at site l =
+    if (not P.enabled) || not (Nvt_nvm.Suppress.flush_killed site) then begin
+      tag site;
+      P.flush_any l
+    end
+
+  let fence_at site =
+    if (not P.enabled) || not (Nvt_nvm.Suppress.fence_killed site) then begin
+      tag site;
+      P.fence ()
+    end
 
   let ensure_reachable reach =
     match reach with
-    | Original_parent l ->
-      tag "nvt:ensure_reachable";
-      P.flush_any l
-    | Parents ls ->
-      List.iter
-        (fun l ->
-          tag "nvt:ensure_reachable";
-          P.flush_any l)
-        ls
+    | Original_parent l -> flush_at "nvt:ensure_reachable" l
+    | Parents ls -> List.iter (flush_at "nvt:ensure_reachable") ls
 
   let make_persistent locs =
-    List.iter
-      (fun l ->
-        tag "nvt:make_persistent";
-        P.flush_any l)
-      locs;
-    tag "nvt:make_persistent";
-    P.fence ()
+    List.iter (flush_at "nvt:make_persistent") locs;
+    fence_at "nvt:make_persistent"
 
   let operation ~find_entry ~traverse ~critical input =
     let rec attempt () =
       let entry = find_entry input in
       let tr = traverse entry input in
-      let ab = !ablation in
-      if not ab.skip_ensure_reachable then ensure_reachable tr.reach;
-      make_persistent (if ab.skip_persist_set then [] else tr.persist_set);
+      ensure_reachable tr.reach;
+      make_persistent tr.persist_set;
       match critical tr.nodes input with
       | Restart -> attempt ()
       | Finish v ->
-        if not ab.skip_final_fence then begin
-          tag "nvt:return_fence";
-          P.fence ()
-        end;
+        fence_at "nvt:return_fence";
         v
     in
     attempt ()

@@ -32,17 +32,13 @@ module Make (M : Nvt_nvm.Memory.S) (P : Nvt_nvm.Persist.Make(M).S) : sig
 
   type 'r verdict = Restart | Finish of 'r
 
-  type ablation = {
-    skip_ensure_reachable : bool;
-    skip_persist_set : bool;
-    skip_final_fence : bool;
-  }
-  (** Testing hook (Section 4.3's necessity claim): selectively disable
-      one class of injected instructions. The ablation tests drive each
-      disabled variant to a durability violation. *)
-
-  val no_ablation : ablation
-  val ablation : ablation ref
+  (** Section 4.3's necessity claim is tested through
+      {!Nvt_nvm.Suppress}: every injected instruction consults the
+      per-site suppression switch under its site name
+      ([nvt:ensure_reachable], [nvt:make_persistent],
+      [nvt:return_fence], and the Protocol 2 sites inside
+      {!Critical}), and the mutation harness drives each suppressed
+      variant to a durability violation. *)
 
   val ensure_reachable : reachability -> unit
   val make_persistent : M.any list -> unit

@@ -1,0 +1,767 @@
+(* The persistence-site mutation laboratory.
+
+   Section 4.3 claims the transformation's flushes and fences are
+   necessary — "removing any of them could violate the correctness of
+   some NVTraverse data structure". PR 2 gave every injected flush/fence
+   a named site ({!Nvt_nvm.Stats}); this module turns the claim into a
+   mutation analysis, the same move mutation-testing tools make for
+   assertions: for every structure x policy flavour of the registry,
+   enumerate the sites that flavour reaches, re-run a crash battery with
+   exactly one site suppressed ({!Nvt_nvm.Suppress}), and demand a
+   durability violation.
+
+   Verdicts:
+   - [Necessary]: some battery attack found a durability violation,
+     corrupt read or broken invariant. The attack parameters are
+     recorded so the kill replays deterministically ({!run_attack}).
+   - [Unkilled]: the battery found nothing — the site is
+     candidate-redundant. This is NOT a proof of redundancy (the
+     adversary is incomplete); the report carries the site's probe
+     flush/fence counts and the measured suppressed-instruction delta so
+     over-flushing candidates are visible. A small allowlist
+     ({!expected_unkilled}) documents sites that are unkilled by
+     construction (self-covering placements); the CI gate fails on any
+     NVTraverse-policy site that is unkilled and not in the list.
+
+   The battery, per suppressed site, in kill-power order with early
+   exit at the first violation:
+   1. deterministic two-thread windows (the test_ablation scenario,
+      generalized): T0's insert is suspended at every point [s0] of its
+      execution while T1 completes an operation that depends on T0's
+      unpersisted state, then the machine freezes — catches
+      boundary-persistence sites precisely;
+   2. a crash-step sweep: crash points strided across the whole seeded
+      multi-thread run (stride 1 = every step at deep scale), earliest
+      step first so the recorded evidence is the minimal failing
+      crash-step for its seed;
+   3. stall injection (OS preemption windows) with swept crash points;
+   4. a random-eviction adversary (cache lines persist behind the
+      program's back, exposing partial-persist orders).
+
+   Before mutating, the intact flavour runs the identical battery as a
+   control: a violation there means the harness itself is broken, and
+   the report fails the gate. *)
+
+module Machine = Nvt_sim.Machine
+module History = Nvt_sim.History
+module Lin = Nvt_sim.Linearizability
+module Stats = Nvt_nvm.Stats
+module Suppress = Nvt_nvm.Suppress
+module I = Instances
+
+module type SET = Nvt_core.Set_intf.SET
+
+(* ------------------------------------------------------------------ *)
+(* Scales                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type scale = {
+  scale_name : string;
+  crash_seeds : int;  (* seeds of the crash-step sweep *)
+  crash_points : int;  (* crash points per seed; 0 = every step *)
+  stall_seeds : int;  (* stall-injection runs *)
+  evict_seeds : int;
+  evict_points : int;  (* crash points per eviction seed *)
+  window_s0 : int;  (* T0 suspension points swept *)
+  window_seeds : int;  (* machine seeds per suspension point *)
+  structures : string list;  (* default structure set *)
+}
+
+let quick =
+  { scale_name = "quick";
+    crash_seeds = 4;
+    crash_points = 16;
+    stall_seeds = 32;
+    evict_seeds = 2;
+    evict_points = 8;
+    window_s0 = 40;
+    window_seeds = 2;
+    structures = [ "list"; "bst-nm" ] }
+
+let deep =
+  { scale_name = "deep";
+    crash_seeds = 6;
+    crash_points = 0 (* every step *);
+    stall_seeds = 121;
+    evict_seeds = 4;
+    evict_points = 32;
+    window_s0 = 60;
+    window_seeds = 5;
+    structures = List.map fst I.structures }
+
+(* ------------------------------------------------------------------ *)
+(* Attacks                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The fixed mutation workload: small key range, insert-heavy
+   adjacent-key traffic — maximizes the chance that one thread builds
+   on another's not-yet-persistent state. *)
+let range = 10
+
+let threads = 4
+
+let ops_per_thread = 20
+
+let stall_profile = { Machine.probability = 0.05; max_units = 30_000 }
+
+type t1_op = Insert_other | Member_target
+
+type attack =
+  | Crash of { seed : int; crash_step : int }
+  | Stall of { seed : int; crash_step : int }
+  | Evict of { seed : int; crash_step : int; probability : float }
+  | Window of { wseed : int; s0 : int; t1 : t1_op }
+
+let pp_attack ppf = function
+  | Crash { seed; crash_step } ->
+    Format.fprintf ppf "crash(seed=%d, step=%d)" seed crash_step
+  | Stall { seed; crash_step } ->
+    Format.fprintf ppf "stall(seed=%d, step=%d)" seed crash_step
+  | Evict { seed; crash_step; probability } ->
+    Format.fprintf ppf "evict(seed=%d, step=%d, p=%.2f)" seed crash_step
+      probability
+  | Window { wseed; s0; t1 } ->
+    Format.fprintf ppf "window(seed=%d, s0=%d, t1=%s)" wseed s0
+      (match t1 with Insert_other -> "insert" | Member_target -> "member")
+
+(* Post-crash check shared by every attack: recover, check invariants,
+   run a verification era observing every key (lost completed inserts
+   and resurrected deletes become visible to the checker), then check
+   durable linearizability of the whole history. *)
+let check_recovery m h ~prefilled ~recover ~member =
+  match
+    recover ();
+    ignore
+      (Machine.spawn m (fun () ->
+           for k = 0 to range - 1 do
+             let e =
+               History.invoke h ~tid:(Machine.current_tid m)
+                 ~time:(Machine.now m) (History.Member k)
+             in
+             History.respond e ~time:(Machine.now m) (member k)
+           done));
+    Machine.run m
+  with
+  | exception Machine.Corrupt_read cid ->
+    `Violation
+      (Printf.sprintf "corrupt read of cell %d after the crash" cid)
+  | exception Failure msg -> `Violation ("structural failure: " ^ msg)
+  | Machine.Crashed_at _ -> assert false
+  | Machine.Completed -> (
+    match Lin.check_set ~initial_keys:prefilled h with
+    | Ok () -> `Ok
+    | Error v -> `Violation (Format.asprintf "%a" Lin.pp_violation v))
+
+(* The seeded multi-thread adversarial run (the test_ablation workload,
+   generalized over the structure). [crash_step = None] runs to
+   completion and doubles as the probe: the result carries the total
+   step count and the machine's per-site attribution table. *)
+let adversarial (module S : SET) ~seed ~crash_step ~eviction ~stall =
+  let m = Machine.create ~seed ~eviction ?stall () in
+  let s = S.create () in
+  let prefilled = List.filter (fun k -> S.insert s ~key:k ~value:k) [ 0; 9 ] in
+  Machine.persist_all m;
+  let h = History.create () in
+  for tid = 0 to threads - 1 do
+    let rng = Random.State.make [| seed; tid; 77 |] in
+    ignore
+      (Machine.spawn m (fun () ->
+           for _ = 1 to ops_per_thread do
+             let k = 1 + Random.State.int rng (range - 2) in
+             let record op f =
+               let e =
+                 History.invoke h ~tid:(Machine.current_tid m)
+                   ~time:(Machine.now m) op
+               in
+               let r = f () in
+               History.respond e ~time:(Machine.now m) r
+             in
+             match Random.State.int rng 10 with
+             | 0 | 1 | 2 | 3 ->
+               record (History.Insert k) (fun () -> S.insert s ~key:k ~value:k)
+             | 4 | 5 | 6 -> record (History.Delete k) (fun () -> S.delete s k)
+             | _ -> record (History.Member k) (fun () -> S.member s k)
+           done))
+  done;
+  (match crash_step with
+  | Some step -> Machine.set_crash_at_step m step
+  | None -> ());
+  match Machine.run m with
+  | Machine.Completed -> `No_crash (Machine.steps m, Machine.stats m)
+  | Machine.Crashed_at t ->
+    History.mark_crash h ~time:t;
+    check_recovery m h ~prefilled
+      ~recover:(fun () ->
+        S.recover s;
+        S.check_invariants s)
+      ~member:(fun k -> S.member s k)
+
+(* The deterministic window (from test_ablation, generalized): run T0's
+   insert for exactly [s0] steps, let T1 complete an operation that may
+   depend on T0's unpersisted state, then freeze the machine where it
+   stands. Sweeping [s0] hits every suspension point of T0, including
+   the ones between a publishing CAS and the fence that covers it. *)
+let window_run (module S : SET) ~wseed ~s0 ~t1 =
+  let m = Machine.create ~seed:wseed () in
+  let s = S.create () in
+  let prefilled = List.filter (fun k -> S.insert s ~key:k ~value:k) [ 2; 6 ] in
+  Machine.persist_all m;
+  let h = History.create () in
+  let record op f () =
+    let e =
+      History.invoke h ~tid:(Machine.current_tid m) ~time:(Machine.now m) op
+    in
+    let r = f () in
+    History.respond e ~time:(Machine.now m) r
+  in
+  let t0 =
+    Machine.spawn m
+      (record (History.Insert 3) (fun () -> S.insert s ~key:3 ~value:3))
+  in
+  let t1_tid =
+    match t1 with
+    | Insert_other ->
+      Machine.spawn m
+        (record (History.Insert 4) (fun () -> S.insert s ~key:4 ~value:4))
+    | Member_target ->
+      Machine.spawn m (record (History.Member 3) (fun () -> S.member s 3))
+  in
+  let picked0 = ref 0 in
+  Machine.set_scheduler m (fun m runnable ->
+      if List.mem t0 runnable && !picked0 < s0 then begin
+        incr picked0;
+        t0
+      end
+      else if List.mem t1_tid runnable then t1_tid
+      else begin
+        (* only T0 is left: freeze the world here *)
+        Machine.set_crash_at_step m (Machine.steps m);
+        t0
+      end);
+  match Machine.run m with
+  | Machine.Completed ->
+    Machine.clear_scheduler m;
+    `No_crash (Machine.steps m, Machine.stats m)
+  | Machine.Crashed_at t ->
+    Machine.clear_scheduler m;
+    History.mark_crash h ~time:t;
+    check_recovery m h ~prefilled
+      ~recover:(fun () ->
+        S.recover s;
+        S.check_invariants s)
+      ~member:(fun k -> S.member s k)
+
+(* Replay one attack; [Some detail] is a durability violation. Runs
+   under whatever suppression is currently active, so a recorded kill
+   replays with [Suppress.set (Some site)] around this call. *)
+let run_attack (module S : SET) (a : attack) : string option =
+  let outcome =
+    match a with
+    | Crash { seed; crash_step } ->
+      adversarial
+        (module S)
+        ~seed ~crash_step:(Some crash_step) ~eviction:Machine.No_eviction
+        ~stall:None
+    | Stall { seed; crash_step } ->
+      adversarial
+        (module S)
+        ~seed ~crash_step:(Some crash_step) ~eviction:Machine.No_eviction
+        ~stall:(Some stall_profile)
+    | Evict { seed; crash_step; probability } ->
+      adversarial
+        (module S)
+        ~seed ~crash_step:(Some crash_step)
+        ~eviction:(Machine.Random_eviction probability) ~stall:None
+    | Window { wseed; s0; t1 } -> window_run (module S) ~wseed ~s0 ~t1
+  in
+  match outcome with
+  | `Violation d -> Some d
+  | `Ok | `No_crash _ -> None
+
+(* The full battery with early exit; returns the first kill (with the
+   number of runs it took) and the total runs executed. *)
+let sweep (module S : SET) (sc : scale) : (attack * string) option * int =
+  let runs = ref 0 in
+  let kill = ref None in
+  let try_ a =
+    if !kill = None then begin
+      incr runs;
+      match run_attack (module S) a with
+      | Some d -> kill := Some (a, d)
+      | None -> ()
+    end
+  in
+  (* 1. deterministic windows *)
+  for s0 = 1 to sc.window_s0 do
+    for wseed = 0 to sc.window_seeds - 1 do
+      List.iter
+        (fun t1 -> try_ (Window { wseed; s0; t1 }))
+        [ Insert_other; Member_target ]
+    done
+  done;
+  (* 2. crash-step sweep: measure the run's horizon under the current
+     suppression (suppressed flushes change the step count), then
+     stride crash points across it — stride 1 is literally every step.
+     The per-seed offset varies the residues so quick scale still
+     covers every step class across seeds. *)
+  for seed = 0 to sc.crash_seeds - 1 do
+    if !kill = None then
+      match
+        adversarial
+          (module S)
+          ~seed ~crash_step:None ~eviction:Machine.No_eviction ~stall:None
+      with
+      | `Ok | `Violation _ -> assert false (* no crash was requested *)
+      | `No_crash (steps, _) ->
+        let stride =
+          if sc.crash_points = 0 then 1 else max 1 (steps / sc.crash_points)
+        in
+        let step = ref (1 + (7 * seed mod stride)) in
+        while !kill = None && !step < steps do
+          try_ (Crash { seed; crash_step = !step });
+          step := !step + stride
+        done
+  done;
+  (* 3. stall injection (the windows only OS preemption opens) *)
+  for i = 0 to sc.stall_seeds - 1 do
+    try_ (Stall { seed = i; crash_step = 60 + (23 * i) })
+  done;
+  (* 4. eviction adversary *)
+  for seed = 0 to sc.evict_seeds - 1 do
+    for i = 0 to sc.evict_points - 1 do
+      try_ (Evict { seed; crash_step = 50 + (37 * i); probability = 0.2 })
+    done
+  done;
+  (!kill, !runs)
+
+(* ------------------------------------------------------------------ *)
+(* Verdicts                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type kill = {
+  attack : attack;
+  detail : string;  (* what the checker saw *)
+  runs_to_kill : int;  (* battery position, for reproducibility *)
+}
+
+type verdict = Necessary of kill | Unkilled of { expected : string option }
+(* [Unkilled { expected = Some reason }]: the site is in the
+   documented allowlist below. *)
+
+type site_report = {
+  site : string;
+  flushes : int;  (* probe attribution: what removing the site saves *)
+  fences : int;
+  skipped_flushes : int;  (* measured delta in one suppressed probe run *)
+  skipped_fences : int;
+  runs : int;  (* battery runs executed for this site *)
+  verdict : verdict;
+}
+
+(* Sites the battery is expected NOT to kill on specific structures,
+   with the structural reason — measured redundancy, the "flag
+   redundant ones" half of this harness's job. [None] for the structure
+   means every structure. An entry here is an allowance, not a
+   requirement: a stronger adversary finding a kill is reported (the
+   expectation is stale) but does not fail the gate. *)
+let expected_unkilled : (string * string option * string * string) list =
+  [ ( "nvt",
+      None,
+      "nvt:crit_read",
+      "self-covering placement on every registry structure: each \
+       critical-section read is either of a location in the traversal's \
+       persist set (already covered by makePersistent's flush + fence) \
+       or is followed by a CAS on the same location, and Protocol 2 \
+       flushes a CASed location even when the CAS fails — so the read's \
+       flush never persists a value no other site persists. Kept \
+       because Section 4.3's claim quantifies over all NVTraverse \
+       structures, not just these five." );
+    ( "nvt",
+      Some "bst-ellen",
+      "nvt:ensure_reachable",
+      "Ellen's BST is descriptor-based: an operation that traverses \
+       through a not-yet-persistent link finds the flagged update \
+       descriptor and helps complete the pending operation through its \
+       own Protocol 2 instrumentation, persisting the link before \
+       building on it." );
+    ( "nvt",
+      Some "bst-ellen",
+      "nvt:make_persistent",
+      "helping self-coverage, as for nvt:ensure_reachable: the observer \
+       re-executes the pending operation's CASes from its descriptor, \
+       and Protocol 2's crit_update/crit_fence persist every word the \
+       observer's return value depends on." );
+    ( "nvt",
+      Some "bst-ellen",
+      "nvt:return_fence",
+      "at the final unflag CAS the inserted child link is already \
+       persistent (crit_fence before the unflag completed its pending \
+       flush); losing the unflagged update word reverts it to the \
+       flagged descriptor state, which recovery completes \
+       idempotently." );
+    ( "nvt",
+      Some "bst-nm",
+      "nvt:ensure_reachable",
+      "this implementation already places the k = 2 parent edges of \
+       Lemma 4.1 (ancestor and parent edge) in the traversal's persist \
+       set, so makePersistent subsumes ensureReachable's flushes; the \
+       'above' edges it adds are conservative." );
+    ( "nvt",
+      Some "hash",
+      "nvt:ensure_reachable",
+      "a hash bucket's traversal is a single edge at the paper's \
+       low-contention bucket sizing (about one key per bucket), so the \
+       reach edge and the persist set are the same bucket-head word: \
+       either of ensureReachable/makePersistent alone covers it." );
+    ( "nvt",
+      Some "hash",
+      "nvt:make_persistent",
+      "mutual coverage with nvt:ensure_reachable on depth-1 \
+       traversals: both sites flush the same bucket-head word, and \
+       nvt:return_fence supplies the ordering." );
+    ( "lp",
+      None,
+      "nvt:crit_fence",
+      "link-and-persist makes persistence a reader obligation: a \
+       critical read of a dirty word drains it (lp:flush + lp:drain) \
+       before the reader builds on it, so the engine's extra fence \
+       after a critical update orders nothing the drain protocol does \
+       not already order. (An earlier stall-adversary kill of this \
+       site on the Harris list was an artifact of the simulator's \
+       stale-write-back resurrection bug, fixed in Machine by per-cell \
+       write-back sequencing.)" );
+    ( "lp",
+      None,
+      "nvt:return_fence",
+      "reader-side draining again: the op's pending write-backs are \
+       dirty-marked words, and any later operation that depends on one \
+       persists it before use — whereas nvt:make_persistent's fence \
+       stays necessary under lp, because NVTraverse traversal reads are \
+       deliberately uninstrumented and never drain." ) ]
+
+let expectation ~policy ~structure ~site =
+  List.find_map
+    (fun (p, st, s, reason) ->
+      if p = policy && s = site && (st = None || st = Some structure) then
+        Some reason
+      else None)
+    expected_unkilled
+
+(* Mutable sites of a flavour: every named site of the probe's
+   attribution table that issued at least one flush or fence. CAS-only
+   sites (lp:mark_clean, flit:install, flit:decrement) belong to the
+   algorithms' synchronization and are not mutation targets; the
+   untagged [app] site covers setup/recovery persistence, which the
+   battery's crash points never exercise meaningfully. *)
+let mutable_sites (st : Stats.t) =
+  Stats.sites st
+  |> List.filter_map (fun (name, { Stats.s_flushes; s_fences; _ }) ->
+         if name <> Stats.app_site && s_flushes + s_fences > 0 then Some name
+         else None)
+  |> List.sort compare
+
+let classify_site (module S : SET) (sc : scale) ~policy ~structure ~site
+    ~flushes ~fences =
+  Suppress.set (Some site);
+  Fun.protect
+    ~finally:(fun () -> Suppress.set None)
+    (fun () ->
+      (* measured instruction delta: one uncrashed run under
+         suppression, before the battery resets nothing (the counters
+         run from [Suppress.set]) *)
+      ignore
+        (adversarial
+           (module S)
+           ~seed:0 ~crash_step:None ~eviction:Machine.No_eviction ~stall:None);
+      let skipped_flushes, skipped_fences = Suppress.skipped () in
+      let kill, runs = sweep (module S) sc in
+      let verdict =
+        match kill with
+        | Some (attack, detail) ->
+          Necessary { attack; detail; runs_to_kill = runs }
+        | None -> Unkilled { expected = expectation ~policy ~structure ~site }
+      in
+      { site; flushes; fences; skipped_flushes; skipped_fences; runs; verdict })
+
+(* ------------------------------------------------------------------ *)
+(* Flavour reports                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type flavour_report = {
+  structure : string;
+  policy : string;
+  durable : bool;
+  probe_steps : int;
+  probe_stats : Stats.t;
+  control_runs : int;
+  control_failure : (attack * string) option;
+      (* the INTACT flavour losing the battery: a broken harness *)
+  sites : site_report list;
+}
+
+type report = { scale_name : string; flavours : flavour_report list }
+
+let run_flavour (sc : scale) ~structure (f : I.flavour) (module S : SET) :
+    flavour_report =
+  let (module Pol : I.POLICY) = f.policy in
+  let probe_steps, probe_stats =
+    match
+      adversarial
+        (module S)
+        ~seed:0 ~crash_step:None ~eviction:Machine.No_eviction ~stall:None
+    with
+    | `No_crash (steps, st) -> (steps, Stats.copy st)
+    | `Ok | `Violation _ -> assert false
+  in
+  if not Pol.durable then
+    (* negative control: nothing to mutate — a non-durable flavour must
+       enumerate no named persistence sites *)
+    { structure;
+      policy = f.key;
+      durable = false;
+      probe_steps;
+      probe_stats;
+      control_runs = 0;
+      control_failure = None;
+      sites = [] }
+  else begin
+    let control_failure, control_runs = sweep (module S) sc in
+    let site_counts = Stats.sites probe_stats in
+    let sites =
+      List.map
+        (fun site ->
+          let { Stats.s_flushes; s_fences; _ } =
+            List.assoc site site_counts
+          in
+          classify_site
+            (module S)
+            sc ~policy:f.key ~structure ~site ~flushes:s_flushes
+            ~fences:s_fences)
+        (mutable_sites probe_stats)
+    in
+    { structure;
+      policy = f.key;
+      durable = true;
+      probe_steps;
+      probe_stats;
+      control_runs;
+      control_failure;
+      sites }
+  end
+
+let run ?(structures = []) ?(policies = []) (sc : scale) : report =
+  let structures = if structures = [] then sc.structures else structures in
+  let flavours =
+    List.concat_map
+      (fun s_name ->
+        let str =
+          match List.assoc_opt s_name I.structures with
+          | Some str -> str
+          | None ->
+            invalid_arg (Printf.sprintf "mutlab: unknown structure %S" s_name)
+        in
+        List.filter_map
+          (fun (f : I.flavour) ->
+            if policies <> [] && not (List.mem f.key policies) then None
+            else
+              Some
+                (run_flavour sc ~structure:s_name f
+                   (I.instantiate str f.policy)))
+          I.flavours)
+      structures
+  in
+  { scale_name = sc.scale_name; flavours }
+
+(* ------------------------------------------------------------------ *)
+(* Gate                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The CI gate, per the Section 4.3 claim: under the NVTraverse policy
+   every reachable site must be killed, except the documented
+   self-covering allowlist. Unkilled sites of the *other* policies are
+   findings, not failures — an unkillable izr:* site is precisely the
+   over-flushing the paper's comparison is about. A control failure
+   (the intact flavour losing its own battery) always fails: it means
+   the harness, not the structure, is broken. *)
+
+type gate = {
+  unexpected_unkilled : (string * string * string) list;
+      (* structure, policy, site *)
+  stale_expectations : (string * string * string) list;
+      (* expected-unkilled sites that a stronger battery killed *)
+  control_failures : (string * string * string) list;
+      (* structure, policy, detail *)
+}
+
+let gate_of (r : report) : gate =
+  let unexpected = ref [] and stale = ref [] and control = ref [] in
+  List.iter
+    (fun (fr : flavour_report) ->
+      (match fr.control_failure with
+      | Some (_, detail) ->
+        control := (fr.structure, fr.policy, detail) :: !control
+      | None -> ());
+      List.iter
+        (fun (sr : site_report) ->
+          match sr.verdict with
+          | Unkilled { expected = None } when fr.policy = "nvt" ->
+            unexpected := (fr.structure, fr.policy, sr.site) :: !unexpected
+          | Necessary _
+            when expectation ~policy:fr.policy ~structure:fr.structure
+                   ~site:sr.site
+                 <> None ->
+            stale := (fr.structure, fr.policy, sr.site) :: !stale
+          | _ -> ())
+        fr.sites)
+    r.flavours;
+  { unexpected_unkilled = List.rev !unexpected;
+    stale_expectations = List.rev !stale;
+    control_failures = List.rev !control }
+
+let gate_ok (g : gate) =
+  g.unexpected_unkilled = [] && g.control_failures = []
+
+(* ------------------------------------------------------------------ *)
+(* JSON (nvtraverse-mutation/1)                                        *)
+(* ------------------------------------------------------------------ *)
+
+let attack_to_json (a : attack) : Json.t =
+  match a with
+  | Crash { seed; crash_step } ->
+    Obj [ ("kind", Str "crash"); ("seed", Int seed);
+          ("crash_step", Int crash_step) ]
+  | Stall { seed; crash_step } ->
+    Obj [ ("kind", Str "stall"); ("seed", Int seed);
+          ("crash_step", Int crash_step) ]
+  | Evict { seed; crash_step; probability } ->
+    Obj [ ("kind", Str "evict"); ("seed", Int seed);
+          ("crash_step", Int crash_step); ("probability", Float probability) ]
+  | Window { wseed; s0; t1 } ->
+    Obj [ ("kind", Str "window"); ("seed", Int wseed); ("s0", Int s0);
+          ("t1",
+           Str (match t1 with
+               | Insert_other -> "insert"
+               | Member_target -> "member")) ]
+
+let site_to_json (sr : site_report) : Json.t =
+  let base =
+    [ ("site", Json.Str sr.site);
+      ("flushes", Json.Int sr.flushes);
+      ("fences", Json.Int sr.fences);
+      ("skipped_flushes", Json.Int sr.skipped_flushes);
+      ("skipped_fences", Json.Int sr.skipped_fences);
+      ("runs", Json.Int sr.runs) ]
+  in
+  match sr.verdict with
+  | Necessary { attack; detail; runs_to_kill } ->
+    Json.Obj
+      (base
+      @ [ ("verdict", Json.Str "necessary");
+          ("kill",
+           Json.Obj
+             [ ("attack", attack_to_json attack);
+               ("runs_to_kill", Json.Int runs_to_kill);
+               ("detail", Json.Str detail) ]) ])
+  | Unkilled { expected } ->
+    Json.Obj
+      (base
+      @ [ ("verdict", Json.Str "unkilled");
+          ("expected", Json.Bool (expected <> None)) ]
+      @ match expected with
+        | Some reason -> [ ("reason", Json.Str reason) ]
+        | None -> [])
+
+let to_json (r : report) : Json.t =
+  let open Json in
+  let g = gate_of r in
+  let triple (a, b, c) =
+    Json.Obj [ ("structure", Json.Str a); ("policy", Json.Str b);
+               ("detail", Json.Str c) ]
+  in
+  Obj
+    [ ("schema", Str "nvtraverse-mutation/1");
+      ("scale", Str r.scale_name);
+      ( "gate",
+        Obj
+          [ ("ok", Bool (gate_ok g));
+            ("unexpected_unkilled", List (List.map triple g.unexpected_unkilled));
+            ("stale_expectations", List (List.map triple g.stale_expectations));
+            ("control_failures", List (List.map triple g.control_failures)) ] );
+      ( "flavours",
+        List
+          (List.map
+             (fun (fr : flavour_report) ->
+               Obj
+                 [ ("structure", Str fr.structure);
+                   ("policy", Str fr.policy);
+                   ("durable", Bool fr.durable);
+                   ( "probe",
+                     Obj
+                       [ ("steps", Int fr.probe_steps);
+                         ("flushes", Int fr.probe_stats.flushes);
+                         ("fences", Int fr.probe_stats.fences);
+                         ("cas", Int fr.probe_stats.cas);
+                         ("sites", Json.sites fr.probe_stats) ] );
+                   ( "control",
+                     Obj
+                       [ ("runs", Int fr.control_runs);
+                         ( "violations",
+                           Int
+                             (match fr.control_failure with
+                             | Some _ -> 1
+                             | None -> 0) ) ] );
+                   ("sites", List (List.map site_to_json fr.sites)) ])
+             r.flavours) ) ]
+
+(* ------------------------------------------------------------------ *)
+(* Human report                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let pp_report ppf (r : report) =
+  List.iter
+    (fun (fr : flavour_report) ->
+      Format.fprintf ppf "%s x %s (%s, %d probe steps)@." fr.structure
+        fr.policy
+        (if fr.durable then "durable" else "not durable")
+        fr.probe_steps;
+      (match fr.control_failure with
+      | Some (a, d) ->
+        Format.fprintf ppf "  CONTROL FAILURE after %a: %s@." pp_attack a d
+      | None ->
+        if fr.durable then
+          Format.fprintf ppf "  control: %d attacks survived intact@."
+            fr.control_runs);
+      if fr.sites = [] then
+        Format.fprintf ppf "  no mutable persistence sites@."
+      else
+        List.iter
+          (fun (sr : site_report) ->
+            match sr.verdict with
+            | Necessary { attack; detail; runs_to_kill } ->
+              Format.fprintf ppf
+                "  %-22s NECESSARY  killed by %a (run %d/%d)@.%s" sr.site
+                pp_attack attack runs_to_kill sr.runs
+                (Printf.sprintf "    %s\n"
+                   (String.concat " " (String.split_on_char '\n' detail)))
+            | Unkilled { expected } ->
+              let label =
+                if expected <> None then " (expected)"
+                else if fr.policy = "nvt" then " (UNEXPECTED)"
+                else " (candidate-redundant)"
+              in
+              Format.fprintf ppf
+                "  %-22s unkilled%s  (%d flushes, %d fences over %d runs)@."
+                sr.site label sr.flushes sr.fences sr.runs)
+          fr.sites;
+      Format.fprintf ppf "@.")
+    r.flavours;
+  let g = gate_of r in
+  if gate_ok g then
+    Format.fprintf ppf "gate: OK (%d stale expectation(s))@."
+      (List.length g.stale_expectations)
+  else
+    Format.fprintf ppf
+      "gate: FAILED — %d unexpected unkilled NVTraverse site(s), %d control \
+       failure(s)@."
+      (List.length g.unexpected_unkilled)
+      (List.length g.control_failures)

@@ -39,24 +39,29 @@ module Make (M : Memory.S) :
 
   type any = Any : 'a loc -> any
 
+  (* Every flush/fence pair honours per-site suppression (the mutation
+     harness removes one site at a time); the counter CASes never do —
+     they are the algorithm's synchronization, not persistence. *)
+  let persist site l =
+    if not (Suppress.flush_killed site) then begin
+      Stats.set_site site;
+      M.flush l
+    end;
+    if not (Suppress.fence_killed site) then begin
+      Stats.set_site site;
+      M.fence ()
+    end
+
   (* Initializing stores are writes like any other: the location must be
      persistent before the algorithm can publish a pointer to it. *)
   let alloc v =
     let l = M.alloc { v; tag = 0 } in
-    Stats.set_site "flit:alloc";
-    M.flush l;
-    Stats.set_site "flit:alloc";
-    M.fence ();
+    persist "flit:alloc" l;
     l
 
   let read l =
     let c = M.read l in
-    if c.tag > 0 then begin
-      Stats.set_site "flit:racy_read";
-      M.flush l;
-      Stats.set_site "flit:racy_read";
-      M.fence ()
-    end;
+    if c.tag > 0 then persist "flit:racy_read" l;
     c.v
 
   let rec decrement l =
@@ -68,10 +73,7 @@ module Make (M : Memory.S) :
     end
 
   let write_back l =
-    Stats.set_site "flit:write_back";
-    M.flush l;
-    Stats.set_site "flit:write_back";
-    M.fence ();
+    persist "flit:write_back" l;
     decrement l
 
   let rec write l v =

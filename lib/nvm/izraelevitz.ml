@@ -16,12 +16,18 @@ module Make (M : Memory.S) : Memory.S with type 'a loc = 'a M.loc =
     (struct
       (* Attribution sites: every flush/fence pair names the access
          class that triggered it, so the per-site table shows where the
-         transformation's cost concentrates (loads, overwhelmingly). *)
+         transformation's cost concentrates (loads, overwhelmingly).
+         Both halves of the pair honour per-site suppression so the
+         mutation harness can remove an access class wholesale. *)
       let persist site l =
-        Stats.set_site site;
-        M.flush l;
-        Stats.set_site site;
-        M.fence ()
+        if not (Suppress.flush_killed site) then begin
+          Stats.set_site site;
+          M.flush l
+        end;
+        if not (Suppress.fence_killed site) then begin
+          Stats.set_site site;
+          M.fence ()
+        end
 
       let after_alloc l = persist "izr:alloc" l
       let after_read l = persist "izr:load" l

@@ -43,10 +43,19 @@ module Make (M : Memory.S) :
     Stats.clear_site ();
     let c = M.read l in
     if not c.tag then begin
-      Stats.set_site "lp:flush";
-      M.flush l;
-      Stats.set_site "lp:drain";
-      M.fence ();
+      (* The flush and drain honour per-site suppression; the
+         mark-clean CAS always runs — suppressing it would change the
+         algorithm, and a mutated flush that still marks the word clean
+         is exactly the dangerous variant the mutation harness wants:
+         every later flush of the word is then skipped as "clean". *)
+      if not (Suppress.flush_killed "lp:flush") then begin
+        Stats.set_site "lp:flush";
+        M.flush l
+      end;
+      if not (Suppress.fence_killed "lp:drain") then begin
+        Stats.set_site "lp:drain";
+        M.fence ()
+      end;
       Stats.set_site "lp:mark_clean";
       ignore (M.cas l ~expected:c ~desired:{ c with tag = true })
     end

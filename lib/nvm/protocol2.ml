@@ -22,28 +22,29 @@ module Make (M : Memory.S) (P : Persist.Make(M).S) :
     (struct
       (* Attribution: tag only when the policy's flushes are real —
          under [Volatile] the instruction is erased and a pending tag
-         would leak onto the next counted access. *)
+         would leak onto the next counted access. Each placement also
+         consults the per-site suppression switch (the mutation
+         harness's knife) before executing; the guard short-circuits
+         when the policy is erased so volatile runs neither tag nor
+         count skips. *)
       let tag site = if P.enabled then Stats.set_site site
 
+      let flush_at site l =
+        if (not P.enabled) || not (Suppress.flush_killed site) then begin
+          tag site;
+          P.flush l
+        end
+
+      let fence_at site =
+        if (not P.enabled) || not (Suppress.fence_killed site) then begin
+          tag site;
+          P.fence ()
+        end
+
       let after_alloc _ = ()
-
-      let after_read l =
-        tag "nvt:crit_read";
-        P.flush l
-
-      let before_update () =
-        tag "nvt:crit_fence";
-        P.fence ()
-
-      let after_update l =
-        tag "nvt:crit_update";
-        P.flush l
-
-      let flush l =
-        tag "nvt:crit_flush";
-        P.flush l
-
-      let fence () =
-        tag "nvt:crit_fence";
-        P.fence ()
+      let after_read l = flush_at "nvt:crit_read" l
+      let before_update () = fence_at "nvt:crit_fence"
+      let after_update l = flush_at "nvt:crit_update" l
+      let flush l = flush_at "nvt:crit_flush" l
+      let fence () = fence_at "nvt:crit_fence"
     end)

@@ -1,0 +1,43 @@
+(* Per-site suppression: the mutation harness's knife.
+
+   Every flush/fence the policies and the engine inject is attributed to
+   a named site (see {!Stats}); this module lets the harness disable
+   exactly one of those sites at a time. Each instrumentation layer
+   consults [flush_killed]/[fence_killed] with its site name immediately
+   before issuing the instruction and skips it when the site is the
+   suppressed one — the program otherwise runs unchanged, which is the
+   mutation-testing notion of removing a single persistence instruction
+   from the source.
+
+   Only flushes and fences are suppressible. CAS-only sites
+   (lp:mark_clean, flit:install, flit:decrement) are part of the
+   algorithms' synchronization, not of the persistence discipline, and
+   suppressing a CAS would change the concurrent algorithm itself.
+
+   The switch is one global cell: the simulator is single-domain and the
+   mutation harness runs one suppressed site per machine, so no
+   per-domain state is needed. Callers must reset with [set None]
+   (through [Fun.protect]) so a suppression cannot leak into later
+   runs. *)
+
+let active : string option ref = ref None
+let flushes = ref 0
+let fences = ref 0
+
+let set site =
+  active := site;
+  flushes := 0;
+  fences := 0
+
+let site () = !active
+
+let kill counter name =
+  match !active with
+  | Some s when String.equal s name ->
+    incr counter;
+    true
+  | _ -> false
+
+let flush_killed name = kill flushes name
+let fence_killed name = kill fences name
+let skipped () = (!flushes, !fences)

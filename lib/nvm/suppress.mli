@@ -1,0 +1,33 @@
+(** Per-site suppression of persistence instructions.
+
+    The mutation harness ({!Nvt_harness.Mutlab} in the harness library)
+    classifies every attributed flush/fence site as necessary or
+    candidate-redundant by re-running a crash battery with exactly one
+    site disabled. This module is the switch: instrumentation layers ask
+    {!flush_killed}/{!fence_killed} with their {!Stats} site name right
+    before issuing the instruction, and skip it when that site is
+    suppressed.
+
+    Only flushes and fences are suppressible; CAS instructions belong to
+    the concurrent algorithm, not the persistence discipline, and are
+    never elided. *)
+
+val set : string option -> unit
+(** Suppress the given site (or none). Resets the skip counters. *)
+
+val site : unit -> string option
+(** The currently suppressed site, if any. *)
+
+val flush_killed : string -> bool
+(** [flush_killed name] is [true] when [name] is the suppressed site:
+    the caller must skip its flush (the skip is counted). Sites whose
+    instruction may be erased for other reasons (a disabled policy)
+    must short-circuit {e before} this call so erased instructions are
+    not counted as suppressed. *)
+
+val fence_killed : string -> bool
+(** Same, for a fence. *)
+
+val skipped : unit -> int * int
+(** [(flushes, fences)] skipped since the last {!set} — the measured
+    instruction delta of the suppressed site. *)

@@ -171,14 +171,18 @@ let mk_ledger (module LMem : Nvt_nvm.Memory.S) () : ledger =
   { append;
     flush_entry =
       (fun slot ->
-        Stats.set_site "svc:ledger_flush";
-        LMem.flush (cell slot));
+        if not (Nvt_nvm.Suppress.flush_killed "svc:ledger_flush") then begin
+          Stats.set_site "svc:ledger_flush";
+          LMem.flush (cell slot)
+        end);
     read_entry = (fun slot -> LMem.read (cell slot));
     write_index = (fun i -> LMem.write index i);
     flush_index =
       (fun () ->
-        Stats.set_site "svc:commit_flush";
-        LMem.flush index);
+        if not (Nvt_nvm.Suppress.flush_killed "svc:commit_flush") then begin
+          Stats.set_site "svc:commit_flush";
+          LMem.flush index
+        end);
     read_index = (fun () -> LMem.read index);
     truncate =
       (fun from ->
@@ -213,8 +217,10 @@ let create ?(poll_quantum = 100) ~structure ~(flavour : I.flavour)
     policy_recover = L.recover;
     svc_fence =
       (fun site ->
-        Stats.set_site site;
-        L.Mem.fence ());
+        if not (Nvt_nvm.Suppress.fence_killed site) then begin
+          Stats.set_site site;
+          L.Mem.fence ()
+        end);
     poll_quantum }
 
 let set_on_apply t f = t.on_apply <- f

@@ -12,9 +12,13 @@
    Every shared mutable word is a [cell] holding both a volatile value
    (what reads and writes touch) and a persistent value (what survives a
    crash). [flush] initiates a write-back of the current volatile value;
-   the write-back completes at the thread's next [fence]. Independently,
-   an eviction adversary may persist the current value of any dirty cell
-   at any scheduling step, modelling uncontrolled cache evictions.
+   the write-back completes at the thread's next [fence]. Write-backs of
+   the same cell serialize as cache coherence serializes them on real
+   hardware: each carries a per-cell sequence number drawn at flush
+   time, and completing one is a no-op if a newer write-back of that
+   cell has already persisted. Independently, an eviction adversary may
+   persist the current value of any dirty cell at any scheduling step,
+   modelling uncontrolled cache evictions.
 
    On a crash, each pending (flushed but not yet fenced) write-back
    completes with probability 1/2, everything else volatile is lost, and
@@ -45,13 +49,15 @@ type 'a cell = {
   mutable owner : int;  (* last writer's tid; -1 when shared *)
   mutable invalid : bool;  (* flushed out of the cache; next read misses *)
   mutable dirty_ix : int;  (* slot in the machine's dirty set; -1 if clean *)
+  mutable wb_seq : int;  (* sequence of the last initiated write-back *)
+  mutable pst_seq : int;  (* [wb_seq] of the currently persisted value *)
 }
 
 type any_cell = Any_cell : 'a cell -> any_cell
 
 let dummy_cell =
   { cid = -1; vol = (); pst = None; corrupt = false; owner = -1;
-    invalid = false; dirty_ix = -1 }
+    invalid = false; dirty_ix = -1; wb_seq = 0; pst_seq = 0 }
 
 (* The dirty table: an intrusive swap-remove array over type-erased
    cells, giving O(1) closure-free [mark_dirty] and O(1) random victim
@@ -65,11 +71,17 @@ module Dirty = Dirty_set.Make (struct
   let dummy = Any_cell dummy_cell
 end)
 
-type pending = Pending : 'a cell * 'a -> pending
-(* One flushed-but-unfenced write-back: the cell and the value captured
-   at flush time. *)
+type pending = Pending : 'a cell * 'a * int -> pending
+(* One flushed-but-unfenced write-back: the cell, the value captured at
+   flush time, and the cell's write-back sequence number drawn when the
+   flush was issued. Write-backs of one line serialize through cache
+   coherence, so completing an *older* write-back after a newer one has
+   already persisted must be a no-op — without the sequence check, a
+   thread that stalls between flush and fence could overwrite another
+   thread's newer flushed-and-fenced value with its stale snapshot
+   (observed as lost acknowledged inserts under the stall adversary). *)
 
-let no_pending = Pending (dummy_cell, ())
+let no_pending = Pending (dummy_cell, (), 0)
 
 type thread_state =
   | Ready of (unit -> unit)
@@ -278,11 +290,25 @@ let yield m = if m.running != dummy_thread then Effect.perform Yield
 
 let cell_is_clean c = match c.pst with Some p -> p == c.vol | None -> false
 
+(* Direct persistence of the current value (setup flushes, [persist_all],
+   eviction): initiate and complete a write-back in one step, so it is
+   by construction the newest for its cell. *)
 let persist_value m c v =
+  c.wb_seq <- c.wb_seq + 1;
+  c.pst_seq <- c.wb_seq;
   c.pst <- Some v;
   if c.dirty_ix >= 0 && cell_is_clean c then Dirty.remove m.dirty (Any_cell c)
 
-let persist_pending m (Pending (c, v)) = persist_value m c v
+(* Complete a flush-time write-back — unless a newer write-back of the
+   same cell already persisted, in which case the stale one is dropped
+   (same-line write-backs serialize; see [pending]). *)
+let persist_pending m (Pending (c, v, seq)) =
+  if seq > c.pst_seq then begin
+    c.pst_seq <- seq;
+    c.pst <- Some v;
+    if c.dirty_ix >= 0 && cell_is_clean c then
+      Dirty.remove m.dirty (Any_cell c)
+  end
 
 let wipe_cell c =
   (match c.pst with
@@ -301,7 +327,7 @@ let alloc v =
   m.live_cells <- m.live_cells + 1;
   let c =
     { cid; vol = v; pst = None; corrupt = false; owner = current_tid m;
-      invalid = false; dirty_ix = -1 }
+      invalid = false; dirty_ix = -1; wb_seq = 0; pst_seq = 0 }
   in
   mark_dirty m c;
   m.stats.allocs <- m.stats.allocs + 1;
@@ -401,7 +427,10 @@ let flush c =
     charge m m.cost.flush_clean
   else begin
     (let th = m.running in
-     if th != dummy_thread then push_pending th (Pending (c, v))
+     if th != dummy_thread then begin
+       c.wb_seq <- c.wb_seq + 1;
+       push_pending th (Pending (c, v, c.wb_seq))
+     end
      else
        (* setup mode: flushes take effect immediately *)
        persist_value m c v);

@@ -147,10 +147,12 @@ module Make (M : Nvt_nvm.Memory.S) (P : Nvt_nvm.Persist.Make(M).S) = struct
         let kv = M.alloc (k, v) in
         let next = M.alloc { marked = false; nx = tr.right } in
         let newnode = { kv; next } in
-        (* flush the new node's fields; the fence is issued by [C.cas]
-           just before publishing (Section 4.2) *)
-        P.flush kv;
-        P.flush next;
+        (* flush the new node's fields through the Protocol 2 wrapper
+           (attributed nvt:crit_flush, so the mutation harness can
+           suppress it); the fence is issued by [C.cas] just before
+           publishing (Section 4.2) *)
+        C.flush kv;
+        C.flush next;
         if
           C.cas tr.left.next ~expected:cur
             ~desired:{ marked = false; nx = Node newnode }

@@ -52,18 +52,21 @@ module Make (M : Nvt_nvm.Memory.S) (P : Nvt_nvm.Persist.Make(M).S) = struct
 
   let clean n = { flag = false; tag = false; node = n }
 
+  (* New-node flushes go through the Protocol 2 wrapper (attributed
+     nvt:crit_flush, suppressible by the mutation harness): the fields
+     must be persistent before the node can be published. *)
   let new_leaf ~key ~value =
     let lkv = M.alloc (key, value) in
-    P.flush lkv;
+    C.flush lkv;
     { lkv }
 
   let new_internal ~key ~left:lc ~right:rc =
     let ikey = M.alloc key in
     let left = M.alloc lc in
     let right = M.alloc rc in
-    P.flush ikey;
-    P.flush left;
-    P.flush right;
+    C.flush ikey;
+    C.flush left;
+    C.flush right;
     { ikey; left; right }
 
   let create () =

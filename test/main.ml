@@ -19,5 +19,6 @@ let () =
       ("service", Test_service.suite);
       ("telemetry", Test_telemetry.suite);
       ("ablation", Test_ablation.suite);
+      ("mutation", Test_mutation.suite);
       ("recovery", Test_recovery.suite);
       ("properties", Test_properties.suite) ]

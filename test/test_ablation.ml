@@ -1,223 +1,92 @@
 (* Necessity of the transformation's flushes (Section 4.3): "the flush
    and fence instructions we prescribe are necessary; removing any of
    them could violate the correctness of some NVTraverse data
-   structure." Each test disables exactly one class of injected
-   instructions through the engine's ablation hook and drives the
-   crippled structure to a durability violation — while the intact
-   engine survives the identical adversary.
+   structure." Each test suppresses exactly one named persistence site
+   ({!Nvt_nvm.Suppress}) and drives the crippled structure through the
+   mutation laboratory's attack battery ({!Nvt_harness.Mutlab.sweep})
+   to a durability violation — while the intact structure survives the
+   identical battery.
 
-   The windows only open when a thread can be descheduled between its
-   publishing CAS and its fence, so these runs enable the machine's
-   stall injection. *)
+   The paper's claim is per-class ("some NVTraverse data structure"),
+   so the engine's three sites are exercised on two shapes: the Harris
+   list and the Natarajan-Mittal BST. Where the laboratory's measured
+   allowlist documents a site as structurally self-covered on a shape
+   (e.g. ensureReachable on the BST, whose k = 2 parent edges already
+   sit in the persist set), the test asserts exactly that — an
+   unkilled site with no documented expectation is still a failure. *)
 
-open Support
+module I = Nvt_harness.Instances
+module Mutlab = Nvt_harness.Mutlab
+module Suppress = Nvt_nvm.Suppress
 
-(* A dedicated instantiation whose engine the ablation ref controls. *)
-module La = Nvt_structures.Harris_list.Make (Sim_mem) (P.Durable)
+let sc = Mutlab.quick
 
-let stall = { Machine.probability = 0.05; max_units = 30_000 }
+let set_of structure =
+  let str = List.assoc structure I.structures in
+  let f = Option.get (I.flavour "nvt") in
+  I.instantiate str f.policy
 
-(* Insert-heavy adjacent-key traffic maximizes the chance that one
-   thread builds on another's not-yet-persistent link. *)
-let run_once ~seed ~crash_at =
-  let m =
-    Machine.create ~seed ~stall ~eviction:Machine.No_eviction ()
+(* The three sites the engine itself injects (Algorithm 2); the
+   Protocol 2 sites inside critical methods get the same treatment in
+   test_mutation.ml across every policy. *)
+let engine_sites =
+  [ "nvt:ensure_reachable"; "nvt:make_persistent"; "nvt:return_fence" ]
+
+let structures = [ "list"; "bst-nm" ]
+
+let with_suppressed site f =
+  Suppress.set (Some site);
+  Fun.protect ~finally:(fun () -> Suppress.set None) f
+
+let intact_survives structure () =
+  let (module S : Mutlab.SET) = set_of structure in
+  match Mutlab.sweep (module S) sc with
+  | None, runs ->
+    if runs < 100 then
+      Alcotest.failf "only %d battery runs on intact %s; battery too small"
+        runs structure
+  | Some (a, detail), _ ->
+    Alcotest.failf
+      "intact %s lost the battery at %s: %s — the harness, not a \
+       suppressed site, is at fault"
+      structure
+      (Format.asprintf "%a" Mutlab.pp_attack a)
+      detail
+
+let necessity structure site () =
+  let (module S : Mutlab.SET) = set_of structure in
+  let expected_unkilled =
+    Mutlab.expectation ~policy:"nvt" ~structure ~site <> None
   in
-  let s = La.create () in
-  let prefilled = List.filter (fun k -> La.insert s ~key:k ~value:k) [ 0; 9 ] in
-  Machine.persist_all m;
-  let h = History.create () in
-  for tid = 0 to 3 do
-    let rng = Random.State.make [| seed; tid; 77 |] in
-    ignore
-      (Machine.spawn m (fun () ->
-           for _ = 1 to 20 do
-             let k = 1 + Random.State.int rng 8 in
-             let record op f =
-               let e =
-                 History.invoke h ~tid:(Machine.current_tid m)
-                   ~time:(Machine.now m) op
-               in
-               let r = f () in
-               History.respond e ~time:(Machine.now m) r
-             in
-             match Random.State.int rng 10 with
-             | 0 | 1 | 2 | 3 ->
-               record (History.Insert k) (fun () -> La.insert s ~key:k ~value:k)
-             | 4 | 5 | 6 ->
-               record (History.Delete k) (fun () -> La.delete s k)
-             | _ -> record (History.Member k) (fun () -> La.member s k)
-           done))
-  done;
-  Machine.set_crash_at_step m crash_at;
-  match Machine.run m with
-  | Machine.Completed -> `No_crash
-  | Machine.Crashed_at t -> (
-    History.mark_crash h ~time:t;
-    match
-      La.recover s;
-      La.check_invariants s;
-      (* verification era: observe every key so that lost completed
-         inserts and resurrected deletes become visible to the checker *)
-      ignore
-        (Machine.spawn m (fun () ->
-             for k = 0 to 9 do
-               let e =
-                 History.invoke h ~tid:(Machine.current_tid m)
-                   ~time:(Machine.now m) (History.Member k)
-               in
-               History.respond e ~time:(Machine.now m) (La.member s k)
-             done));
-      Machine.run m
-    with
-    | exception Machine.Corrupt_read _ -> `Violation
-    | exception Failure _ -> `Violation
-    | Machine.Crashed_at _ -> assert false
-    | Machine.Completed -> (
-      match Lin.check_set ~initial_keys:prefilled h with
-      | Ok () -> `Ok
-      | Error _ -> `Violation))
-
-let count_violations () =
-  let violations = ref 0 and crashes = ref 0 in
-  for seed = 0 to 120 do
-    match run_once ~seed ~crash_at:(60 + (23 * seed)) with
-    | `Violation ->
-      incr crashes;
-      incr violations
-    | `Ok -> incr crashes
-    | `No_crash -> ()
-  done;
-  (!violations, !crashes)
-
-let with_ablation ab f =
-  La.E.ablation := ab;
-  Fun.protect ~finally:(fun () -> La.E.ablation := La.E.no_ablation) f
-
-let intact_engine_survives () =
-  with_ablation La.E.no_ablation (fun () ->
-      let v, c = count_violations () in
-      if c < 50 then Alcotest.failf "only %d crashing runs; adversary too weak" c;
-      Alcotest.(check int) "no violations with the full protocol" 0 v)
-
-let necessity name ab () =
-  with_ablation ab (fun () ->
-      let v, _ = count_violations () in
-      if v = 0 then
-        Alcotest.failf
-          "disabling %s caused no violation in 120 adversarial runs — \
-           either the flush class is not exercised or the adversary is \
-           too weak"
-          name)
-
-(* ------------------------------------------------------------------ *)
-(* Deterministic windows                                                *)
-(* ------------------------------------------------------------------ *)
-
-(* The ensureReachable and makePersistent windows need precise timing:
-   T0's insert must sit *between its publishing CAS and its fence* while
-   T1 completes an operation that depends on the unfenced link. The
-   scheduler hook makes this deterministic: run T0 for exactly [s0]
-   steps, then run T1 to completion, then crash — and sweep [s0] over
-   every suspension point of T0. The intact engine survives every s0;
-   the ablated engine must lose T1's completed operation at some s0. *)
-
-type t1_op = Insert4 | Member3
-
-let window_run ~s0 ~mseed ~t1 =
-  let m = Machine.create ~seed:mseed () in
-  let s = La.create () in
-  let prefilled = List.filter (fun k -> La.insert s ~key:k ~value:k) [ 2; 6 ] in
-  Machine.persist_all m;
-  let h = History.create () in
-  let record op f () =
-    let e =
-      History.invoke h ~tid:(Machine.current_tid m) ~time:(Machine.now m) op
-    in
-    let r = f () in
-    History.respond e ~time:(Machine.now m) r
-  in
-  let t0 =
-    Machine.spawn m (record (History.Insert 3) (fun () ->
-        La.insert s ~key:3 ~value:3))
-  in
-  let t1_tid =
-    match t1 with
-    | Insert4 ->
-      Machine.spawn m (record (History.Insert 4) (fun () ->
-          La.insert s ~key:4 ~value:4))
-    | Member3 ->
-      Machine.spawn m (record (History.Member 3) (fun () -> La.member s 3))
-  in
-  let picked0 = ref 0 in
-  Machine.set_scheduler m (fun m runnable ->
-      if List.mem t0 runnable && !picked0 < s0 then begin
-        incr picked0;
-        t0
-      end
-      else if List.mem t1_tid runnable then t1_tid
-      else begin
-        (* only T0 is left: freeze the world here *)
-        Machine.set_crash_at_step m (Machine.steps m);
-        t0
-      end);
-  match Machine.run m with
-  | Machine.Completed -> `No_crash
-  | Machine.Crashed_at t -> (
-    History.mark_crash h ~time:t;
-    Machine.clear_scheduler m;
-    La.recover s;
-    ignore
-      (Machine.spawn m (fun () ->
-           List.iter
-             (fun k ->
-               (record (History.Member k) (fun () -> La.member s k)) ())
-             [ 2; 3; 4; 6 ]));
-    (match Machine.run m with
-    | Machine.Completed -> ()
-    | Machine.Crashed_at _ -> assert false);
-    match Lin.check_set ~initial_keys:prefilled h with
-    | Ok () -> `Ok
-    | Error _ -> `Violation)
-
-let window_sweep ~t1 () =
-  let violations = ref 0 in
-  for s0 = 1 to 40 do
-    for mseed = 0 to 4 do
-      match window_run ~s0 ~mseed ~t1 with
-      | `Violation -> incr violations
-      | `Ok | `No_crash -> ()
-    done
-  done;
-  !violations
-
-let deterministic_necessity name ab ~t1 () =
-  with_ablation ab (fun () ->
-      if window_sweep ~t1 () = 0 then
-        Alcotest.failf
-          "disabling %s caused no violation at any suspension point" name)
-
-let intact_windows () =
-  with_ablation La.E.no_ablation (fun () ->
-      List.iter
-        (fun t1 ->
-          let v = window_sweep ~t1 () in
-          Alcotest.(check int) "no violation at any suspension point" 0 v)
-        [ Insert4; Member3 ])
+  with_suppressed site (fun () ->
+      match Mutlab.sweep (module S) sc with
+      | Some _, _ ->
+        if expected_unkilled then
+          Alcotest.failf
+            "suppressing %s on %s WAS killed — its expected-unkilled \
+             entry in Mutlab.expected_unkilled is stale"
+            site structure
+      | None, runs ->
+        if not expected_unkilled then
+          Alcotest.failf
+            "suppressing %s on %s caused no durability violation in %d \
+             battery runs — either the site is not exercised there or \
+             the adversary is too weak"
+            site structure runs)
 
 let suite =
-  [ Alcotest.test_case "intact engine survives the adversary" `Quick
-      intact_engine_survives;
-    Alcotest.test_case "intact engine survives every window" `Quick
-      intact_windows;
-    Alcotest.test_case "ensureReachable is necessary" `Quick
-      (deterministic_necessity "ensureReachable"
-         { La.E.no_ablation with skip_ensure_reachable = true }
-         ~t1:Insert4);
-    Alcotest.test_case "makePersistent's flushes are necessary" `Quick
-      (deterministic_necessity "makePersistent"
-         { La.E.no_ablation with skip_persist_set = true }
-         ~t1:Member3);
-    Alcotest.test_case "fence-before-return is necessary" `Quick
-      (necessity "the final fence"
-         { La.E.no_ablation with skip_final_fence = true }) ]
+  List.concat_map
+    (fun structure ->
+      Alcotest.test_case
+        (Printf.sprintf "intact %s survives the battery" structure)
+        `Quick (intact_survives structure)
+      :: List.map
+           (fun site ->
+             let name =
+               if Mutlab.expectation ~policy:"nvt" ~structure ~site <> None
+               then Printf.sprintf "%s is self-covered on %s" site structure
+               else Printf.sprintf "%s is necessary on %s" site structure
+             in
+             Alcotest.test_case name `Quick (necessity structure site))
+           engine_sites)
+    structures

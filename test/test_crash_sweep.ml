@@ -254,8 +254,58 @@ let cont_sweeps =
       ("treiber_stack", stack_cont);
       ("priority_queue", pqueue_cont) ]
 
+(* Write-backs of one cell must serialize as cache coherence would: if
+   T0 flushes value 1 but stalls before its fence, and T1 then writes,
+   flushes and fences value 2, T0's late fence completing the stale
+   write-back must not overwrite the newer persisted value. (The
+   unsequenced model lost acknowledged inserts under the mutation
+   harness's stall adversary: link-and-persist marked the word clean
+   after the stale overwrite, so no later flush ever repaired it.) *)
+let stale_write_back_dropped () =
+  let m = Machine.create ~seed:0 () in
+  let cell = Sim_mem.alloc 0 in
+  Machine.persist_all m;
+  let body value touches () =
+    Sim_mem.write cell value;
+    Sim_mem.flush cell;
+    Sim_mem.fence ();
+    (* a metadata touch in the style of link-and-persist's mark-clean
+       CAS: re-install the value just read, re-dirtying the line
+       without changing it — so the crash wipes the line back to
+       whatever is persisted *)
+    for _ = 1 to touches do
+      let v = Sim_mem.read cell in
+      Sim_mem.write cell v
+    done
+  in
+  let t0 = Machine.spawn m (body 1 4) in
+  let t1 = Machine.spawn m (body 2 0) in
+  let picked0 = ref 0 in
+  (* t0: write 1, flush (captures 1); t1: write 2, flush, fence — value
+     2 is persisted; t0: fence completes the stale write-back of 1,
+     then touches the line; then freeze the machine. *)
+  Machine.set_scheduler m (fun m runnable ->
+      if List.mem t0 runnable && !picked0 < 2 then begin
+        incr picked0;
+        t0
+      end
+      else if List.mem t1 runnable then t1
+      else begin
+        incr picked0;
+        if !picked0 > 5 then Machine.set_crash_at_step m (Machine.steps m);
+        t0
+      end);
+  (match Machine.run m with
+  | Machine.Crashed_at _ -> ()
+  | Machine.Completed -> Alcotest.fail "machine completed without crashing");
+  Machine.clear_scheduler m;
+  Alcotest.(check int) "the newer persisted value survives the crash" 2
+    (Sim_mem.read cell)
+
 let suite =
-  list_sweeps @ cont_sweeps
+  (Alcotest.test_case "a stalled fence cannot resurrect a stale write-back"
+     `Quick stale_write_back_dropped :: list_sweeps)
+  @ cont_sweeps
   @ [ Alcotest.test_case "ellen bst" `Quick
       (sweep "ellen" (module Eb.Durable) ~eviction:Machine.No_eviction);
     Alcotest.test_case "natarajan bst" `Quick

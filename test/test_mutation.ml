@@ -1,0 +1,127 @@
+(* The mutation laboratory's own regression (quick scale, Harris list):
+   the Protocol 2 sites are classified necessary with kill evidence that
+   replays, the volatile flavour is a true negative control (no named
+   persistence sites to mutate), and the report survives a round-trip
+   through the harness's JSON emitter and parser — the same files CI
+   validates as MUTATION_report.json. *)
+
+module Mutlab = Nvt_harness.Mutlab
+module Json = Nvt_harness.Json
+module Suppress = Nvt_nvm.Suppress
+
+let report =
+  lazy (Mutlab.run ~structures:[ "list" ] ~policies:[ "volatile"; "nvt" ]
+          Mutlab.quick)
+
+let flavour policy =
+  let r = Lazy.force report in
+  match
+    List.find_opt
+      (fun (fr : Mutlab.flavour_report) -> fr.policy = policy)
+      r.flavours
+  with
+  | Some fr -> fr
+  | None -> Alcotest.failf "no %s flavour in the report" policy
+
+let find_site (fr : Mutlab.flavour_report) site =
+  match
+    List.find_opt (fun (sr : Mutlab.site_report) -> sr.site = site) fr.sites
+  with
+  | Some sr -> sr
+  | None ->
+    Alcotest.failf "site %s not enumerated on %s x %s" site fr.structure
+      fr.policy
+
+let volatile_control () =
+  let fr = flavour "volatile" in
+  Alcotest.(check bool) "volatile flavour is not durable" false fr.durable;
+  Alcotest.(check int) "nothing to mutate" 0 (List.length fr.sites)
+
+(* Every p2 site the list reaches is accounted for: the ones whose loss
+   the battery can expose are necessary, and the read-flush — which the
+   battery proves self-covered here — carries its documented
+   expectation rather than silently passing. *)
+let p2_sites_killed () =
+  let fr = flavour "nvt" in
+  (match fr.control_failure with
+  | Some (a, d) ->
+    Alcotest.failf "intact control failed at %s: %s"
+      (Format.asprintf "%a" Mutlab.pp_attack a)
+      d
+  | None -> ());
+  List.iter
+    (fun site ->
+      let sr = find_site fr site in
+      match sr.verdict with
+      | Mutlab.Necessary _ -> ()
+      | Mutlab.Unkilled _ ->
+        Alcotest.failf "%s went unkilled on the Harris list (%d runs)" site
+          sr.runs)
+    [ "nvt:crit_fence"; "nvt:crit_update"; "nvt:crit_flush";
+      "nvt:ensure_reachable"; "nvt:make_persistent"; "nvt:return_fence" ];
+  let sr = find_site fr "nvt:crit_read" in
+  match sr.verdict with
+  | Mutlab.Unkilled { expected = Some _ } -> ()
+  | Mutlab.Unkilled { expected = None } ->
+    Alcotest.fail
+      "nvt:crit_read is unkilled but carries no documented expectation"
+  | Mutlab.Necessary _ ->
+    Alcotest.fail
+      "nvt:crit_read was killed — remove its expected-unkilled entry"
+
+(* Kill evidence must replay: re-running the recorded attack with the
+   same site suppressed reproduces a violation, and running it against
+   the intact structure does not. *)
+let kills_replay () =
+  let fr = flavour "nvt" in
+  let str = List.assoc "list" Nvt_harness.Instances.structures in
+  let f = Option.get (Nvt_harness.Instances.flavour "nvt") in
+  let (module S : Mutlab.SET) = Nvt_harness.Instances.instantiate str f.policy in
+  List.iter
+    (fun (sr : Mutlab.site_report) ->
+      match sr.verdict with
+      | Mutlab.Unkilled _ -> ()
+      | Mutlab.Necessary { attack; _ } ->
+        (match Mutlab.run_attack (module S) attack with
+        | Some _ ->
+          Alcotest.failf "recorded kill for %s fires without suppression"
+            sr.site
+        | None -> ());
+        Suppress.set (Some sr.site);
+        Fun.protect
+          ~finally:(fun () -> Suppress.set None)
+          (fun () ->
+            match Mutlab.run_attack (module S) attack with
+            | Some _ -> ()
+            | None ->
+              Alcotest.failf "recorded kill for %s does not replay" sr.site))
+    fr.sites
+
+let json_round_trip () =
+  let j = Mutlab.to_json (Lazy.force report) in
+  let s = Json.to_string j in
+  let s' = Json.to_string (Json.parse s) in
+  Alcotest.(check string) "emit . parse . emit is the identity" s s';
+  (* spot-check the parsed structure *)
+  let parsed = Json.parse s in
+  Alcotest.(check string) "schema tag" "nvtraverse-mutation/1"
+    Json.(to_string_exn (member "schema" parsed));
+  let flavours = Json.(to_list (member "flavours" parsed)) in
+  Alcotest.(check int) "two flavours serialized" 2 (List.length flavours)
+
+let gate_passes () =
+  let g = Mutlab.gate_of (Lazy.force report) in
+  Alcotest.(check bool) "gate ok" true (Mutlab.gate_ok g);
+  Alcotest.(check int) "no control failures" 0
+    (List.length g.control_failures)
+
+let suite =
+  [ Alcotest.test_case "volatile flavour is a negative control" `Quick
+      volatile_control;
+    Alcotest.test_case "protocol 2 sites on the list are necessary" `Quick
+      p2_sites_killed;
+    Alcotest.test_case "kill evidence replays deterministically" `Quick
+      kills_replay;
+    Alcotest.test_case "report round-trips through the JSON layer" `Quick
+      json_round_trip;
+    Alcotest.test_case "quick gate passes" `Quick gate_passes ]

@@ -1,0 +1,267 @@
+#!/usr/bin/env python3
+"""Validate nvtraverse benchmark/telemetry artifacts.
+
+Usage: tools/validate_bench.py FILE [FILE ...]
+
+Each FILE is a JSON artifact produced by `bench/main.exe` or
+`nvtsim mutate`. The artifact's `schema` tag picks the validator:
+
+    nvtraverse-panels/1    bench panels --json   (BENCH_panels.json)
+    nvtraverse-micro/1     bench micro --json    (BENCH_micro.json)
+    nvtraverse-selfperf/1  bench selfperf --json (BENCH_selfperf.json)
+    nvtraverse-service/1   bench service --json  (BENCH_service.json)
+    nvtraverse-mutation/1  nvtsim mutate         (MUTATION_report.json)
+
+Validators assert structural invariants only (series present, sums
+consistent, gate coherent with verdicts) — never absolute performance
+numbers, which vary across machines. Exit status is non-zero on the
+first violated invariant.
+"""
+
+import json
+import sys
+
+
+class Invalid(Exception):
+    pass
+
+
+def require(cond, msg):
+    if not cond:
+        raise Invalid(msg)
+
+
+def site_sums_match(sites, totals, label):
+    for k in ("flushes", "fences", "cas"):
+        s = sum(site[k] for site in sites)
+        require(s == totals[k], f"{label}: site {k} sum {s} != total {totals[k]}")
+
+
+# ---------------------------------------------------------------- panels
+
+
+def validate_panels(panels):
+    checked = 0
+    for panel in panels["panels"]:
+        series = {s["policy"]: s for s in panel["series"] if s["policy"]}
+        if panel["id"] == "5a":
+            for policy in ("volatile", "nvt", "izraelevitz", "flit"):
+                require(policy in series, f"panel 5a: missing series for {policy}")
+        for s in panel["series"]:
+            require(s["points"], f"series {s['label']} has no sweep points")
+            for pt in s["points"]:
+                for key in ("mops", "flushes_per_op", "fences_per_op"):
+                    require(key in pt, f"{s['label']}: point missing {key}")
+            site_sums_match(s["sites"], s["totals"], s["label"])
+            if s["durable"]:
+                named = [x["site"] for x in s["sites"] if x["site"] != "app"]
+                require(
+                    len(named) >= 3,
+                    f"durable series {s['label']} attributes only {named}",
+                )
+            checked += 1
+    return f"{len(panels['panels'])} panels, {checked} series"
+
+
+# ----------------------------------------------------------------- micro
+
+
+def validate_micro(micro):
+    names = {r["name"] for r in micro["results"]}
+    for want in ("orig/member", "nvt/member", "izr/member"):
+        require(any(want in n for n in names), f"missing micro result {want}")
+    return f"{len(micro['results'])} micro results"
+
+
+# -------------------------------------------------------------- selfperf
+
+
+def validate_selfperf(sp):
+    panels = {p["panel"] for p in sp["panels"]}
+    require(panels == {"list", "hash", "evict"}, f"unexpected panels {panels}")
+    threads = sorted({r["threads"] for r in sp["rows"]})
+    for p in panels:
+        rows = [r for r in sp["rows"] if r["panel"] == p]
+        require(
+            sorted(r["threads"] for r in rows) == threads,
+            f"panel {p} does not cover the thread sweep {threads}",
+        )
+        for r in rows:
+            require(r["steps"] > 0 and r["seconds"] > 0, f"degenerate row {r}")
+            # both fields serialize at 6 significant digits
+            rate = r["steps"] / r["seconds"]
+            require(
+                abs(rate - r["steps_per_sec"]) < 1e-4 * rate,
+                f"inconsistent rate in row {r}",
+            )
+    return f"{len(sp['rows'])} rows over threads {threads}"
+
+
+# --------------------------------------------------------------- service
+
+
+def validate_service(svc):
+    modes = {m["mode"]: m for m in svc["modes"]}
+    require("per_op" in modes, f"no per_op mode in {sorted(modes)}")
+    grouped = [m for n, m in modes.items() if n != "per_op"]
+    require(grouped, "no grouped mode in the sweep")
+    for m in svc["modes"]:
+        require(m["violations"] == [], f"{m['mode']}: {m['violations']}")
+        require(
+            m["acked"] == svc["requests"],
+            f"{m['mode']}: acked {m['acked']} != requests {svc['requests']}",
+        )
+        require(m["committed"] == svc["requests"], f"{m['mode']}: commit shortfall")
+        lat = m["latency"]
+        require(
+            0 < lat["p50"] <= lat["p95"] <= lat["p99"] <= lat["max"],
+            f"{m['mode']}: unordered latency percentiles {lat}",
+        )
+        site_sums_match(m["sites"], m["totals"], m["mode"])
+    for g in grouped:
+        require(
+            g["fences_per_op"] < modes["per_op"]["fences_per_op"],
+            f"{g['mode']}: grouping saves no fences "
+            f"({g['fences_per_op']} vs {modes['per_op']['fences_per_op']})",
+        )
+    return "%d modes, per-op %.3f vs grouped %s fences/op" % (
+        len(svc["modes"]),
+        modes["per_op"]["fences_per_op"],
+        ["%.3f" % g["fences_per_op"] for g in grouped],
+    )
+
+
+# -------------------------------------------------------------- mutation
+
+ATTACK_KINDS = {"crash", "stall", "evict", "window"}
+
+
+def validate_mutation(rep):
+    gate = rep["gate"]
+    flavours = rep["flavours"]
+    require(flavours, "no flavours in the report")
+
+    # Recompute the gate from the verdicts and check it matches.
+    unexpected, control_failures = [], []
+    for fr in flavours:
+        key = (fr["structure"], fr["policy"])
+        require(
+            isinstance(fr["durable"], bool), f"{key}: durable is not a bool"
+        )
+        probe = fr["probe"]
+        for k in ("steps", "flushes", "fences", "cas"):
+            require(probe[k] >= 0, f"{key}: negative probe {k}")
+        if not fr["durable"]:
+            require(fr["sites"] == [], f"{key}: volatile flavour has sites")
+            continue
+        require(fr["control"]["runs"] > 0, f"{key}: durable flavour not attacked")
+        if fr["control"]["violations"]:
+            control_failures.append(key)
+        for sr in fr["sites"]:
+            site = sr["site"]
+            require(
+                sr["flushes"] + sr["fences"] > 0,
+                f"{key}/{site}: enumerated but never executed in the probe",
+            )
+            require(sr["runs"] > 0, f"{key}/{site}: zero battery runs")
+            if sr["verdict"] == "necessary":
+                kill = sr["kill"]
+                require(
+                    kill["attack"]["kind"] in ATTACK_KINDS,
+                    f"{key}/{site}: unknown attack kind {kill['attack']}",
+                )
+                require(kill["detail"], f"{key}/{site}: kill without evidence")
+                require(
+                    1 <= kill["runs_to_kill"] <= sr["runs"],
+                    f"{key}/{site}: runs_to_kill {kill['runs_to_kill']} "
+                    f"outside 1..{sr['runs']}",
+                )
+            elif sr["verdict"] == "unkilled":
+                if sr["expected"]:
+                    require(
+                        sr.get("reason"),
+                        f"{key}/{site}: expected-unkilled without a reason",
+                    )
+                elif fr["policy"] == "nvt":
+                    unexpected.append(key + (site,))
+            else:
+                raise Invalid(f"{key}/{site}: unknown verdict {sr['verdict']!r}")
+
+    gate_unexpected = [
+        (g["structure"], g["policy"], g["detail"])
+        for g in gate["unexpected_unkilled"]
+    ]
+    require(
+        sorted(gate_unexpected) == sorted(unexpected),
+        f"gate.unexpected_unkilled {gate_unexpected} does not match "
+        f"recomputed {unexpected}",
+    )
+    gate_controls = [(g["structure"], g["policy"]) for g in gate["control_failures"]]
+    require(
+        sorted(gate_controls) == sorted(control_failures),
+        f"gate.control_failures {gate_controls} does not match "
+        f"recomputed {control_failures}",
+    )
+    require(
+        gate["ok"] == (not unexpected and not control_failures),
+        f"gate.ok={gate['ok']} inconsistent with "
+        f"unexpected={unexpected} controls={control_failures}",
+    )
+
+    n_sites = sum(len(fr["sites"]) for fr in flavours)
+    n_nec = sum(
+        1
+        for fr in flavours
+        for sr in fr["sites"]
+        if sr["verdict"] == "necessary"
+    )
+    return (
+        f"{len(flavours)} flavours, {n_sites} sites "
+        f"({n_nec} necessary), gate {'OK' if gate['ok'] else 'FAILED'}"
+    )
+
+
+# ------------------------------------------------------------------ main
+
+VALIDATORS = {
+    "nvtraverse-panels/1": validate_panels,
+    "nvtraverse-micro/1": validate_micro,
+    "nvtraverse-selfperf/1": validate_selfperf,
+    "nvtraverse-service/1": validate_service,
+    "nvtraverse-mutation/1": validate_mutation,
+}
+
+
+def main(paths):
+    if not paths:
+        sys.exit(__doc__.strip())
+    failed = False
+    for path in paths:
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"FAIL {path}: {e}")
+            failed = True
+            continue
+        schema = doc.get("schema")
+        validator = VALIDATORS.get(schema)
+        if validator is None:
+            print(f"FAIL {path}: unknown schema {schema!r}")
+            failed = True
+            continue
+        try:
+            summary = validator(doc)
+        except Invalid as e:
+            print(f"FAIL {path} [{schema}]: {e}")
+            failed = True
+        except (KeyError, TypeError, ValueError) as e:
+            print(f"FAIL {path} [{schema}]: malformed document ({e!r})")
+            failed = True
+        else:
+            print(f"ok   {path} [{schema}]: {summary}")
+    sys.exit(1 if failed else 0)
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])
