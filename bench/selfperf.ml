@@ -40,6 +40,15 @@ type row = {
   steps_per_sec : float;
 }
 
+type domain_row = {
+  d_panel : string;
+  d_domains : int;
+  d_threads_per_domain : int;
+  d_steps : int;  (* summed over the domains' machines *)
+  d_seconds : float;  (* wall clock across the fork/join *)
+  d_steps_per_sec : float;
+}
+
 type panel = {
   p_name : string;
   p_structure : string;  (* key in the Instances registry *)
@@ -102,6 +111,30 @@ let measure ~seed ~range ~total_ops (p : panel) ~threads =
   let dt = Unix.gettimeofday () -. t0 in
   (Machine.steps m, dt)
 
+(* Domain-scaling series: D independent simulations (the parallel
+   runner's shape — one machine per domain, no sharing) forked over a
+   {!Nvt_sim.Domain_pool}, wall-clocked across the join. Work grows
+   with D (each domain simulates its own full workload), so perfect
+   scaling is a flat wall clock: steps/sec growing ~D-fold. On a
+   machine with fewer cores than D the series degrades to flat
+   steps/sec and D-fold wall time — the honest single-core outcome. *)
+let measure_domains (p : panel) ~seed ~range ~total_ops ~domains
+    ~threads_per_domain =
+  let pool = Nvt_sim.Domain_pool.create domains in
+  let steps = Array.make domains 0 in
+  Fun.protect
+    ~finally:(fun () -> Nvt_sim.Domain_pool.shutdown pool)
+    (fun () ->
+      let t0 = Unix.gettimeofday () in
+      Nvt_sim.Domain_pool.run pool (fun d ->
+          let s, _ =
+            measure ~seed:(seed + (101 * d)) ~range ~total_ops p
+              ~threads:threads_per_domain
+          in
+          steps.(d) <- s);
+      let dt = Unix.gettimeofday () -. t0 in
+      (Array.fold_left ( + ) 0 steps, dt))
+
 let run ?json_path ?(quick = false) ?(seed = 1) () =
   let thread_counts =
     if quick then [ 1; 8; 32; 64 ]
@@ -135,12 +168,35 @@ let run ?json_path ?(quick = false) ?(seed = 1) () =
           thread_counts)
       panels
   in
+  let domain_counts = if quick then [ 1; 2; 4 ] else [ 1; 2; 4; 8 ] in
+  let threads_per_domain = 32 in
+  let dpanel = List.hd panels in
+  Printf.printf "%-8s %8s %12s %10s %14s\n" "panel" "domains" "steps"
+    "seconds" "steps/sec";
+  let domain_rows =
+    List.map
+      (fun domains ->
+        let d_steps, d_seconds =
+          measure_domains dpanel ~seed ~range ~total_ops ~domains
+            ~threads_per_domain
+        in
+        let d_steps_per_sec = float_of_int d_steps /. d_seconds in
+        Printf.printf "%-8s %8d %12d %10.3f %14.3e\n%!" dpanel.p_name domains
+          d_steps d_seconds d_steps_per_sec;
+        { d_panel = dpanel.p_name;
+          d_domains = domains;
+          d_threads_per_domain = threads_per_domain;
+          d_steps;
+          d_seconds;
+          d_steps_per_sec })
+      domain_counts
+  in
   (match json_path with
   | None -> ()
   | Some path ->
     let json =
       Json.Obj
-        [ ("schema", Json.Str "nvtraverse-selfperf/1");
+        [ ("schema", Json.Str "nvtraverse-selfperf/2");
           ("quick", Json.Bool quick);
           ("seed", Json.Int seed);
           ("total_ops", Json.Int total_ops);
@@ -167,7 +223,20 @@ let run ?json_path ?(quick = false) ?(seed = 1) () =
                        ("steps", Json.Int r.steps);
                        ("seconds", Json.Float r.seconds);
                        ("steps_per_sec", Json.Float r.steps_per_sec) ])
-                 rows) ) ]
+                 rows) );
+          ( "domain_rows",
+            Json.List
+              (List.map
+                 (fun r ->
+                   Json.Obj
+                     [ ("panel", Json.Str r.d_panel);
+                       ("domains", Json.Int r.d_domains);
+                       ( "threads_per_domain",
+                         Json.Int r.d_threads_per_domain );
+                       ("steps", Json.Int r.d_steps);
+                       ("seconds", Json.Float r.d_seconds);
+                       ("steps_per_sec", Json.Float r.d_steps_per_sec) ])
+                 domain_rows) ) ]
     in
     Json.write_file path json;
     Printf.printf "wrote %s\n%!" path)

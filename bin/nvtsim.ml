@@ -230,6 +230,14 @@ let mut_policies =
         ~doc:"Restrict to this policy (repeatable; default: every \
               registry flavour).")
 
+let mut_domains =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"N"
+        ~doc:"Stripe the structure x policy batteries over $(docv) OCaml \
+              domains. The report is byte-identical for every value: each \
+              battery is self-contained and the output is index-ordered.")
+
 let mut_out =
   Arg.(
     value
@@ -237,7 +245,7 @@ let mut_out =
     & info [ "out"; "o" ] ~docv:"FILE"
         ~doc:"Where to write the nvtraverse-mutation/1 report.")
 
-let mutate quick deep structures policies out =
+let mutate quick deep structures policies domains out =
   if quick && deep then begin
     prerr_endline "--quick and --deep are mutually exclusive";
     exit 2
@@ -260,7 +268,7 @@ let mutate quick deep structures policies out =
         exit 2
       end)
     policies;
-  let r = Mutlab.run ~structures ~policies sc in
+  let r = Mutlab.run ~structures ~policies ~domains sc in
   Format.printf "%a" Mutlab.pp_report r;
   H.Json.write_file out (Mutlab.to_json r);
   Printf.printf "report:     %s\n" out;
@@ -319,8 +327,17 @@ let batch_timeout =
               commits when full or when its oldest completion has \
               waited this long.")
 
+let svc_domains =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"N"
+        ~doc:"Stripe the shards over $(docv) OCaml domains (clamped to the \
+              shard count), one simulated machine per domain, merged at \
+              virtual-time barriers. Crash-free runs keep the same apply \
+              histories and verdict for every value.")
+
 let serve s_name p_name shards clients requests gap skew updates range seed
-    batch timeout crashes eviction dram =
+    batch timeout crashes eviction dram domains =
   (match I.flavour p_name with
   | Some _ -> ()
   | None ->
@@ -347,7 +364,8 @@ let serve s_name p_name shards clients requests gap skew updates range seed
         (if dram then Nvt_nvm.Cost_model.dram else Nvt_nvm.Cost_model.nvram);
       eviction =
         (if eviction > 0.0 then Nvt_sim.Machine.Random_eviction eviction
-         else Nvt_sim.Machine.No_eviction) }
+         else Nvt_sim.Machine.No_eviction);
+      domains }
   in
   match Runner.run cfg with
   | r ->
@@ -384,7 +402,7 @@ let () =
                as candidate-redundant")
       Term.(
         const mutate $ quick_flag $ deep_flag $ mut_structures $ mut_policies
-        $ mut_out)
+        $ mut_domains $ mut_out)
   in
   let serve_cmd =
     Cmd.v
@@ -394,7 +412,7 @@ let () =
       Term.(
         const serve $ svc_structure $ svc_policy $ shards $ clients $ requests
         $ gap $ skew $ updates $ range $ seed $ batch $ batch_timeout
-        $ crashes $ eviction $ dram)
+        $ crashes $ eviction $ dram $ svc_domains)
   in
   exit
     (Cmd.eval

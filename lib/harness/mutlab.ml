@@ -549,9 +549,17 @@ let run_flavour (sc : scale) ~structure (f : I.flavour) (module S : SET) :
       sites }
   end
 
-let run ?(structures = []) ?(policies = []) (sc : scale) : report =
+(* The (structure, flavour) batteries are independent — every attack
+   builds its own machine and suppression is domain-local — so they
+   stripe over a {!Nvt_sim.Domain_pool} round-robin. [I.instantiate]
+   runs inside the worker: the instantiated structure's cells must
+   belong to the worker's machines. The report (and its JSON) is
+   index-ordered and carries no domain count, so a [domains = n] run
+   is byte-identical to the sequential one. *)
+let run ?(structures = []) ?(policies = []) ?(domains = 1) (sc : scale) :
+    report =
   let structures = if structures = [] then sc.structures else structures in
-  let flavours =
+  let items =
     List.concat_map
       (fun s_name ->
         let str =
@@ -563,12 +571,38 @@ let run ?(structures = []) ?(policies = []) (sc : scale) : report =
         List.filter_map
           (fun (f : I.flavour) ->
             if policies <> [] && not (List.mem f.key policies) then None
-            else
-              Some
-                (run_flavour sc ~structure:s_name f
-                   (I.instantiate str f.policy)))
+            else Some (s_name, str, f))
           I.flavours)
       structures
+  in
+  let items = Array.of_list items in
+  let n = Array.length items in
+  let results = Array.make n None in
+  let work i =
+    let s_name, str, (f : I.flavour) = items.(i) in
+    results.(i) <-
+      Some (run_flavour sc ~structure:s_name f (I.instantiate str f.policy))
+  in
+  let domains = max 1 (min domains n) in
+  if domains = 1 then
+    for i = 0 to n - 1 do
+      work i
+    done
+  else begin
+    let pool = Nvt_sim.Domain_pool.create domains in
+    Fun.protect
+      ~finally:(fun () -> Nvt_sim.Domain_pool.shutdown pool)
+      (fun () ->
+        Nvt_sim.Domain_pool.run pool (fun d ->
+            let i = ref d in
+            while !i < n do
+              work !i;
+              i := !i + domains
+            done))
+  end;
+  let flavours =
+    Array.to_list results
+    |> List.map (function Some r -> r | None -> assert false)
   in
   { scale_name = sc.scale_name; flavours }
 

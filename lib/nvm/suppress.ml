@@ -14,30 +14,55 @@
    algorithms' synchronization, not of the persistence discipline, and
    suppressing a CAS would change the concurrent algorithm itself.
 
-   The switch is one global cell: the simulator is single-domain and the
-   mutation harness runs one suppressed site per machine, so no
-   per-domain state is needed. Callers must reset with [set None]
-   (through [Fun.protect]) so a suppression cannot leak into later
-   runs. *)
+   The switch is a small context record rather than a global cell:
+   machines running on different domains (shard-per-domain simulation,
+   parallel mutation batteries) each carry their own context, installed
+   in domain-local storage by {!Nvt_sim.Machine.set_current}, so one
+   domain's suppression can never leak into another's run. Within a
+   domain the module-level API below operates on the currently installed
+   context, so existing callers are unchanged. Callers must still reset
+   with [set None] (through [Fun.protect]) so a suppression cannot leak
+   into later runs on the same context. *)
 
-let active : string option ref = ref None
-let flushes = ref 0
-let fences = ref 0
+type t = {
+  mutable active : string option;
+  mutable flushes : int;
+  mutable fences : int;
+}
+
+let create () = { active = None; flushes = 0; fences = 0 }
+
+(* Each domain starts with its own fresh context; [use] swaps in a
+   machine's context when interleaving several machines on one domain. *)
+let key = Domain.DLS.new_key create
+
+let ambient () = Domain.DLS.get key
+let use c = Domain.DLS.set key c
 
 let set site =
-  active := site;
-  flushes := 0;
-  fences := 0
+  let c = ambient () in
+  c.active <- site;
+  c.flushes <- 0;
+  c.fences <- 0
 
-let site () = !active
+let site () = (ambient ()).active
 
-let kill counter name =
-  match !active with
+let flush_killed name =
+  let c = ambient () in
+  match c.active with
   | Some s when String.equal s name ->
-    incr counter;
+    c.flushes <- c.flushes + 1;
     true
   | _ -> false
 
-let flush_killed name = kill flushes name
-let fence_killed name = kill fences name
-let skipped () = (!flushes, !fences)
+let fence_killed name =
+  let c = ambient () in
+  match c.active with
+  | Some s when String.equal s name ->
+    c.fences <- c.fences + 1;
+    true
+  | _ -> false
+
+let skipped () =
+  let c = ambient () in
+  (c.flushes, c.fences)

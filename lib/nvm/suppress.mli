@@ -8,9 +8,34 @@
     before issuing the instruction, and skip it when that site is
     suppressed.
 
+    Suppression state lives in a context record, not a global: each
+    domain has its own ambient context (fresh by default), and
+    {!Nvt_sim.Machine.set_current} installs the machine's context, so
+    machines on different domains — or interleaved machines with
+    explicit contexts on one domain — never observe each other's
+    suppression or skip counters.
+
     Only flushes and fences are suppressible; CAS instructions belong to
     the concurrent algorithm, not the persistence discipline, and are
     never elided. *)
+
+type t
+(** One suppression context: the suppressed site (if any) and the skip
+    counters accumulated since the last {!set}. *)
+
+val create : unit -> t
+(** A fresh context with nothing suppressed. *)
+
+val ambient : unit -> t
+(** The calling domain's currently installed context. Every domain
+    starts with its own fresh context. *)
+
+val use : t -> unit
+(** Install a context as the calling domain's ambient one. Machines
+    carry their context and {!Nvt_sim.Machine.set_current} calls this,
+    so explicit use is only needed in tests that juggle contexts. *)
+
+(** {1 Operations on the ambient context} *)
 
 val set : string option -> unit
 (** Suppress the given site (or none). Resets the skip counters. *)

@@ -1,14 +1,48 @@
 (* The open-loop load harness and crash laboratory for the service.
 
-   A driver thread releases requests at Poisson arrival times
-   (exponential inter-arrival gaps, seeded) over a configurable number
-   of sequential client sessions; a client with an outstanding request
-   backlogs later arrivals, and latency is measured from the *scheduled*
-   arrival, so queueing delay counts — the open-loop discipline.
+   Requests arrive at Poisson times (exponential inter-arrival gaps,
+   seeded) over a configurable number of sequential client sessions; a
+   client with an outstanding request backlogs later arrivals, and
+   latency is measured from the *scheduled* arrival, so queueing delay
+   counts — the open-loop discipline.
 
-   Crashes are injected at configured step counts, as in [Crashlab]:
-   after each [Crashed_at] the service recovers and the next era
-   re-sends every outstanding (unacknowledged) request, exactly what a
+   Execution model: the service's shards are striped over [domains]
+   groups (clamped to the shard count); each group is one
+   {!Service.create} slice living on its own {!Machine} instance, and
+   each machine runs on its own OCaml domain through a
+   {!Nvt_sim.Domain_pool}. The main domain owns every piece of
+   cross-group state — client sessions, arrival schedule, oracle,
+   crash clock — and touches it only at virtual-time merge barriers:
+
+     every [merge_epoch] units of virtual time, all machines advance
+     to the same barrier (Machine.advance_to), then the main domain
+     drains the per-group apply/ack event buffers, merges them in
+     effective-time order, releases due arrivals into the owning
+     group's shard queues, and decides stop/crash/watchdog.
+
+   Determinism contract. A crash-free run's per-shard apply histories
+   and oracle verdict are independent of the domain count: shards are
+   disjoint, worker virtual time depends only on the worker's own
+   operations, requests enter shard queues only at barriers, and
+   acknowledgement release times are quantized to domain-count-
+   independent boundaries — true virtual time for per-op and dedup
+   acks (worker-local), the next commit-interval boundary for group
+   acks (a group commit's fence cost depends on how the batch is
+   sliced, so the true ack time is rounded up to the interval the
+   committer fired at; the committer itself commits at virtual-time
+   multiples of the interval, see {!Service}). Crashed runs stay
+   verdict-stable — the oracle checks hold for every domain count —
+   but not history-identical, because each machine coin-flips its own
+   pending write-backs at the crash.
+
+   Crashes are injected per era as in [Crashlab], except the trigger
+   is checked at merge barriers: the era's first barrier at which the
+   machines' aggregate step count reaches the configured threshold
+   force-crashes every machine at the same virtual time. Before the
+   crash fires, all collected and deferred acknowledgements are
+   processed — they are durably committed, so deferring them past the
+   crash would re-send already-acknowledged requests. After recovery
+   the next era re-sends every outstanding request, exactly what a
    real client would do. An oracle in plain OCaml state — which
    survives simulated crashes, making it a perfect observer — checks
    exactly-once semantics:
@@ -28,8 +62,8 @@
    recorded result and zero store applications.
 
    Liveness is guarded by a watchdog: an era that runs [watchdog]
-   steps without completing is crashed and reported as a stall
-   violation instead of simulating forever. *)
+   aggregate steps without completing is crashed and reported as a
+   stall violation instead of simulating forever. *)
 
 module Machine = Nvt_sim.Machine
 module Stats = Nvt_nvm.Stats
@@ -51,8 +85,10 @@ type config = {
   crash_steps : int list;  (* one crash per era, like Crashlab *)
   cost : Nvt_nvm.Cost_model.t;
   eviction : Machine.eviction;
-  watchdog : int;  (* max steps per era before a stall is declared *)
+  watchdog : int;  (* max aggregate steps per era before a stall *)
   audit : bool;  (* post-run re-send audit *)
+  domains : int;  (* shard groups on real domains; clamped to shards *)
+  merge_epoch : int;  (* virtual time units between merge barriers *)
 }
 
 let default_config =
@@ -71,7 +107,9 @@ let default_config =
     cost = Nvt_nvm.Cost_model.nvram;
     eviction = Machine.No_eviction;
     watchdog = 2_000_000;
-    audit = true }
+    audit = true;
+    domains = 1;
+    merge_epoch = 500 }
 
 type latency = { p50 : int; p95 : int; p99 : int; lmax : int; mean : float }
 
@@ -91,6 +129,8 @@ type report = {
   latency : latency;
   stats : Stats.t;  (* main-run window (prefill and audit excluded) *)
   violations : string list;
+  histories : (int * int) list array;
+      (* per global shard, the (client, seq) apply order *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -115,6 +155,13 @@ type rec_ = {
   mutable r_applies : int;
 }
 
+(* One entry of a group's event buffer: the worker-side hooks record
+   what happened and at which virtual time; the main domain merges and
+   interprets the streams at the next barrier. *)
+type ev =
+  | E_apply of Service.request * int  (* apply virtual time *)
+  | E_ack of Service.request * Service.result * bool (* dedup *) * int
+
 let run (c : config) : report =
   let structure =
     match List.assoc_opt c.structure I.structures with
@@ -126,16 +173,42 @@ let run (c : config) : report =
     | Some f -> f
     | None -> invalid_arg (Printf.sprintf "service: unknown policy %S" c.flavour)
   in
-  let m = Machine.create ~seed:c.seed ~cost:c.cost ~eviction:c.eviction () in
-  let svc =
-    Service.create ~structure ~flavour ~shards:c.shards ~mode:c.mode ()
+  let domains = max 1 (min c.domains c.shards) in
+  let epoch = max 1 c.merge_epoch in
+  (* The group commit interval, in whole epochs: commit boundaries fall
+     on barriers, so a group ack's effective release time is the same
+     for every domain count. *)
+  let commit_interval =
+    match c.mode with
+    | Service.Group { timeout; _ } -> (max 1 timeout + epoch - 1) / epoch * epoch
+    | Service.Per_op -> epoch
+  in
+  let is_group =
+    match c.mode with Service.Group _ -> true | Service.Per_op -> false
+  in
+  let machines =
+    Array.init domains (fun g ->
+        Machine.create ~seed:(c.seed + (1031 * g)) ~cost:c.cost
+          ~eviction:c.eviction ())
+  in
+  (* Building a slice allocates its ledger cells on the calling
+     domain's current machine; group g's slice must live on machine g. *)
+  let services =
+    Array.init domains (fun g ->
+        Machine.set_current machines.(g);
+        Service.create ~slice:(g, domains) ~commit_interval ~structure ~flavour
+          ~shards:c.shards ~mode:c.mode ())
   in
   let prefill =
     List.filter (fun k -> k < c.key_range)
       (Workload.prefill_keys ~range:c.key_range)
   in
-  Service.prefill svc prefill;
-  Machine.persist_all m;
+  Array.iteri
+    (fun g svc ->
+      Machine.set_current machines.(g);
+      Service.prefill svc prefill;
+      Machine.persist_all machines.(g))
+    services;
 
   (* ---- arrival schedule ---- *)
   let dist =
@@ -202,14 +275,67 @@ let run (c : config) : report =
   let backlog : Service.request Queue.t array =
     Array.init c.clients (fun _ -> Queue.create ())
   in
+  let group_of_key k = Service.global_shard ~shards:c.shards k mod domains in
+  let submit_route (r : Service.request) =
+    Service.submit services.(group_of_key (Service.key_of_op r.op)) r
+  in
   let issue (r : Service.request) =
     issued.(r.client) <- Some r;
-    Service.submit svc r
+    submit_route r
   in
 
-  Service.set_on_apply svc (fun req _res ->
+  (* ---- event buffers, filled by the worker-side hooks ---- *)
+  let evq : ev Queue.t array = Array.init domains (fun _ -> Queue.create ()) in
+  Array.iteri
+    (fun g svc ->
+      let mg = machines.(g) in
+      Service.set_on_apply svc (fun req _res ->
+          Queue.push (E_apply (req, Machine.now mg)) evq.(g));
+      Service.set_on_ack svc (fun req res ~dedup ->
+          Queue.push (E_ack (req, res, dedup, Machine.now mg)) evq.(g)))
+    services;
+
+  let histories = Array.make c.shards [] in
+
+  (* A group ack's effective release time is the commit-interval
+     boundary its commit fired at, rounded up from the true ack time
+     (which includes the batch's slice-dependent fence cost); per-op
+     and dedup acks are worker-local and release at their true time. *)
+  let eff_of = function
+    | E_apply (_, v) -> v
+    | E_ack (_, _, dedup, v) ->
+      if is_group && not dedup then ((v / commit_interval) + 1) * commit_interval
+      else v
+  in
+  let deferred = ref [] in
+  let drain () =
+    let acc = ref [] in
+    Array.iter
+      (fun q ->
+        Queue.iter
+          (fun e ->
+            (match e with
+            | E_apply (req, _) when not !audit_mode ->
+              let gs =
+                Service.global_shard ~shards:c.shards (Service.key_of_op req.op)
+              in
+              histories.(gs) <- (req.client, req.seq) :: histories.(gs)
+            | _ -> ());
+            let key =
+              match e with
+              | E_apply (req, _) -> (req.Service.client, req.seq, 0)
+              | E_ack (req, _, _, _) -> (req.Service.client, req.seq, 1)
+            in
+            acc := (eff_of e, key, e) :: !acc)
+          q;
+        Queue.clear q)
+      evq;
+    List.rev !acc
+  in
+  let process_event = function
+    | E_apply (req, _) ->
       incr applies;
-      match rec_of req with
+      (match rec_of req with
       | None -> ()
       | Some x ->
         x.r_applies <- x.r_applies + 1;
@@ -218,9 +344,8 @@ let run (c : config) : report =
             req.client req.seq
         else if x.r_acks > 0 then
           violation "client=%d seq=%d applied after acknowledgement"
-            req.client req.seq);
-
-  Service.set_on_ack svc (fun req res ~dedup ->
+            req.client req.seq)
+    | E_ack (req, res, dedup, v) -> (
       match rec_of req with
       | None -> ()
       | Some x ->
@@ -237,8 +362,7 @@ let run (c : config) : report =
               (match x.r_ack_res with
               | Some r0 -> Format.asprintf "%a" Service.pp_result r0
               | None -> "nothing"));
-          incr audit_acks;
-          if !audit_acks >= !audit_expected then Service.request_stop svc
+          incr audit_acks
         end
         else begin
           if dedup then incr dedup_acks;
@@ -248,97 +372,148 @@ let run (c : config) : report =
           else begin
             x.r_ack_res <- Some res;
             if !completed < Array.length latencies then
-              latencies.(!completed) <- Machine.now m - x.r_arrival;
+              latencies.(!completed) <- v - x.r_arrival;
             incr completed;
             if req.seq > last_acked.(req.client) then
               last_acked.(req.client) <- req.seq;
             issued.(req.client) <- None;
-            (match Queue.take_opt backlog.(req.client) with
+            match Queue.take_opt backlog.(req.client) with
             | Some nxt -> issue nxt
-            | None -> ());
-            if !completed = c.requests then Service.request_stop svc
+            | None -> ()
           end
-        end);
-
-  (* ---- driver thread: release arrivals at their scheduled times ---- *)
-  let cursor = ref 0 in
-  let driver () =
-    let rec loop () =
-      if !cursor < Array.length arrivals then begin
-        let a = arrivals.(!cursor) in
-        let now = Machine.now m in
-        if now < a.a_time then begin
-          Machine.sleep m (a.a_time - now);
-          loop ()
-        end
-        else begin
-          incr cursor;
-          let r = { Service.client = a.a_client; seq = a.a_seq; op = a.a_op } in
-          if issued.(a.a_client) <> None then Queue.push r backlog.(a.a_client)
-          else issue r;
-          loop ()
-        end
-      end
+        end)
+  in
+  (* Merge: everything released by barrier [t_bar] (or everything
+     collected, at a crash) in (effective time, client, seq, apply<ack)
+     order; the rest stays deferred for a later barrier. *)
+  let process_ready ~all t_bar =
+    let pending = !deferred @ drain () in
+    let ready, later =
+      if all then (pending, [])
+      else List.partition (fun (eff, _, _) -> eff <= t_bar) pending
     in
-    loop ()
+    deferred := later;
+    List.stable_sort (fun (e1, k1, _) (e2, k2, _) -> compare (e1, k1) (e2, k2)) ready
+    |> List.iter (fun (_, _, e) -> process_event e)
+  in
+  let cursor = ref 0 in
+  let release_arrivals t_bar =
+    while
+      !cursor < Array.length arrivals && arrivals.(!cursor).a_time <= t_bar
+    do
+      let a = arrivals.(!cursor) in
+      incr cursor;
+      let r = { Service.client = a.a_client; seq = a.a_seq; op = a.a_op } in
+      if issued.(a.a_client) <> None then Queue.push r backlog.(a.a_client)
+      else issue r
+    done
   in
 
-  (* ---- era loop ---- *)
-  let before = Stats.copy (Machine.stats m) in
+  (* ---- barrier loop over the domain pool ---- *)
+  let before = Array.map (fun m -> Stats.copy (Machine.stats m)) machines in
+  let pool = Nvt_sim.Domain_pool.create domains in
+  Fun.protect ~finally:(fun () -> Nvt_sim.Domain_pool.shutdown pool)
+  @@ fun () ->
+  let results = Array.make domains `Barrier in
+  let advance_all t_bar =
+    Nvt_sim.Domain_pool.run pool (fun g ->
+        results.(g) <- Machine.advance_to machines.(g) ~time:t_bar)
+  in
+  let total_steps () =
+    Array.fold_left (fun n m -> n + Machine.steps m) 0 machines
+  in
+  let stop_all () = Array.iter Service.request_stop services in
+  let crash_all () =
+    Array.iter (fun m -> ignore (Machine.force_crash m)) machines
+  in
+  let recover_all () =
+    Array.iteri
+      (fun g svc ->
+        Machine.set_current machines.(g);
+        Service.recover svc)
+      services
+  in
+  let vtime = ref 0 in
   let fired = ref 0 in
   let eras_count = ref 0 in
   let stalled = ref false in
-  let spawn_era () =
-    incr eras_count;
-    Service.start svc m;
-    ignore (Machine.spawn m driver);
-    (* re-send every outstanding request, as the clients would (no-op
-       in the first era: nothing is outstanding yet) *)
+  (* One era: start the services, re-send outstanding requests, then
+     advance all machines barrier by barrier until they complete, the
+     era's crash threshold fires, or the watchdog trips. *)
+  let run_era threshold =
+    if not !audit_mode then incr eras_count;
+    Array.iteri (fun g svc -> Service.start svc machines.(g)) services;
     Array.iter
       (function
         | Some r ->
           incr resent;
-          Service.submit svc r
+          submit_route r
         | None -> ())
-      issued
-  in
-  let watchdog_era () =
-    spawn_era ();
-    Machine.set_crash_at_step m (Machine.steps m + c.watchdog);
-    match Machine.run m with
-    | Machine.Completed ->
-      Machine.clear_crash m;
-      true
-    | Machine.Crashed_at _ ->
-      stalled := true;
-      violation "stalled: watchdog fired after %d steps with %d/%d acked"
-        c.watchdog !completed c.requests;
-      false
+      issued;
+    let era_base = total_steps () in
+    let rec loop () =
+      vtime := !vtime + epoch;
+      advance_all !vtime;
+      let era_steps = total_steps () - era_base in
+      match threshold with
+      | Some s when era_steps >= s ->
+        (* Everything collected is durably done; processing it now
+           keeps already-acknowledged requests out of the re-send. *)
+        process_ready ~all:true !vtime;
+        crash_all ();
+        incr fired;
+        recover_all ()
+      | _ ->
+        process_ready ~all:false !vtime;
+        release_arrivals !vtime;
+        if
+          (not !audit_mode) && !completed >= c.requests
+          || (!audit_mode && !audit_acks >= !audit_expected)
+        then stop_all ();
+        if Array.for_all (fun r -> r = `Completed) results then
+          (* quiescent: sweep any acks still deferred past this barrier *)
+          process_ready ~all:true !vtime
+        else if threshold = None && era_steps >= c.watchdog then begin
+          if !audit_mode then
+            violation "audit stalled: %d/%d dedup acks" !audit_acks
+              !audit_expected
+          else begin
+            stalled := true;
+            violation "stalled: watchdog fired after %d steps with %d/%d acked"
+              c.watchdog !completed c.requests
+          end;
+          crash_all ()
+        end
+        else loop ()
+    in
+    loop ()
   in
   let rec eras = function
-    | [] -> if !completed < c.requests then ignore (watchdog_era ())
-    | step :: rest ->
+    | [] -> if !completed < c.requests then run_era None
+    | s :: rest ->
       if !completed < c.requests then begin
-        spawn_era ();
-        Machine.set_crash_at_step m (Machine.steps m + step);
-        (match Machine.run m with
-        | Machine.Crashed_at _ ->
-          incr fired;
-          Service.recover svc;
-          eras rest
-        | Machine.Completed ->
-          Machine.clear_crash m;
-          eras rest)
+        run_era (Some s);
+        eras rest
       end
   in
   eras c.crash_steps;
-  let main_steps = Machine.steps m in
-  let main_makespan = Machine.makespan m in
-  let stats = Stats.diff ~after:(Machine.stats m) ~before in
+  let main_steps = total_steps () in
+  let main_makespan =
+    Array.fold_left (fun n m -> max n (Machine.makespan m)) 0 machines
+  in
+  let stats =
+    let agg = Stats.zero () in
+    Array.iteri
+      (fun g m ->
+        Stats.accumulate ~into:agg
+          (Stats.diff ~after:(Machine.stats m) ~before:before.(g)))
+      machines;
+    agg
+  in
 
   (* ---- final-state verification (setup mode) ---- *)
   if not !stalled then begin
-    (try Service.check_invariants svc
+    (try Array.iter Service.check_invariants services
      with Failure msg -> violation "invariant: %s" msg);
     let model : (int, int) Hashtbl.t = Hashtbl.create (2 * c.key_range) in
     List.iter (fun k -> Hashtbl.replace model k k) prefill;
@@ -358,6 +533,14 @@ let run (c : config) : report =
         else Service.Done false
       | Service.Get k -> Service.Value (Hashtbl.find_opt model k)
     in
+    (* committed logs in global shard order, merged over the slices *)
+    let logs = Array.make c.shards [] in
+    Array.iter
+      (fun svc ->
+        Array.iteri
+          (fun li log -> logs.(Service.global_of_local svc li) <- log)
+          (Service.committed_log svc))
+      services;
     let seen : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
     Array.iter
       (fun log ->
@@ -374,7 +557,7 @@ let run (c : config) : report =
                 (Format.asprintf "%a" Service.pp_result r)
                 (Format.asprintf "%a" Service.pp_result e.e_res))
           log)
-      (Service.committed_log svc);
+      logs;
     Hashtbl.iter
       (fun (cl, sq) n ->
         if n > 1 then
@@ -390,7 +573,11 @@ let run (c : config) : report =
               x.r_applies
         end)
       recs;
-    let actual = Service.contents svc in
+    let actual =
+      Array.to_list services
+      |> List.concat_map Service.contents
+      |> List.sort compare
+    in
     let expected =
       Hashtbl.fold (fun k v acc -> (k, v) :: acc) model [] |> List.sort compare
     in
@@ -412,16 +599,10 @@ let run (c : config) : report =
         (fun client seq ->
           if seq >= 0 then
             match Hashtbl.find_opt recs (client, seq) with
-            | Some x -> Service.submit svc { Service.client; seq; op = x.r_op }
+            | Some x -> submit_route { Service.client; seq; op = x.r_op }
             | None -> ())
         last_acked;
-      Service.start svc m;
-      Machine.set_crash_at_step m (Machine.steps m + c.watchdog);
-      match Machine.run m with
-      | Machine.Completed -> Machine.clear_crash m
-      | Machine.Crashed_at _ ->
-        violation "audit stalled: %d/%d dedup acks" !audit_acks
-          !audit_expected
+      run_era None
     end
   end;
 
@@ -449,10 +630,12 @@ let run (c : config) : report =
     eras = !eras_count;
     makespan = main_makespan;
     steps = main_steps;
-    committed = Service.committed_total svc;
+    committed =
+      Array.fold_left (fun n svc -> n + Service.committed_total svc) 0 services;
     latency;
     stats;
-    violations = List.rev !violations }
+    violations = List.rev !violations;
+    histories = Array.map List.rev histories }
 
 (* ------------------------------------------------------------------ *)
 (* Reporting                                                           *)
@@ -469,8 +652,8 @@ let flushes_per_op r =
 let pp_report ppf r =
   let c = r.config in
   Format.fprintf ppf
-    "@[<v>service %s/%s shards=%d clients=%d mode=%s dist=%s\n" c.structure
-    c.flavour c.shards c.clients
+    "@[<v>service %s/%s shards=%d domains=%d clients=%d mode=%s dist=%s\n"
+    c.structure c.flavour c.shards c.domains c.clients
     (Service.mode_name c.mode)
     (if c.skew <= 0.0 then "uniform" else Printf.sprintf "zipf(%.2f)" c.skew);
   Format.fprintf ppf

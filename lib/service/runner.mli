@@ -1,7 +1,20 @@
 (** Open-loop load harness and crash laboratory for {!Service}: Poisson
     arrivals over sequential client sessions, crash/recover eras with
     client re-send, an exactly-once oracle, latency percentiles in
-    simulated time, and the [nvtraverse-service/1] JSON fragment. *)
+    simulated time, and the [nvtraverse-service/1] JSON fragment.
+
+    The service's shards are striped over [domains] groups, each a
+    {!Service} slice on its own {!Nvt_sim.Machine} running on its own
+    OCaml domain; the main domain merges their apply/ack streams,
+    drives client sessions and fires crashes at virtual-time barriers
+    every [merge_epoch] units. Crash-free runs produce the same
+    per-shard apply histories and oracle verdict for every domain
+    count, provided each machine's working set fits the cost model's
+    [capacity_lines] (above it the per-machine working-set model
+    converts read hits to misses probabilistically, and one machine
+    holding all shards has a larger set than several holding slices);
+    crashed runs stay verdict-stable (each machine coin-flips its own
+    pending write-backs at a crash). *)
 
 type config = {
   structure : string;  (** registry key, e.g. ["hash"] *)
@@ -18,8 +31,14 @@ type config = {
   crash_steps : int list;
   cost : Nvt_nvm.Cost_model.t;
   eviction : Nvt_sim.Machine.eviction;
-  watchdog : int;  (** max steps per era before a stall is declared *)
+  watchdog : int;
+      (** max aggregate steps per era before a stall is declared *)
   audit : bool;  (** re-send every client's last acked request at end *)
+  domains : int;
+      (** shard groups on real OCaml domains; clamped to [shards].
+          Default 1: everything on the calling domain. *)
+  merge_epoch : int;
+      (** virtual time units between merge barriers (default 500) *)
 }
 
 val default_config : config
@@ -44,6 +63,10 @@ type report = {
       (** main-run window: prefill and the audit pass excluded *)
   violations : string list;
       (** empty iff exactly-once semantics held (and nothing stalled) *)
+  histories : (int * int) list array;
+      (** per global shard, the (client, seq) apply order of the main
+          run — the determinism tests compare these across domain
+          counts *)
 }
 
 val run : config -> report

@@ -109,11 +109,10 @@ type shard = {
 }
 
 type completion = {
-  c_shard : int;
+  c_shard : int;  (* local shard index *)
   c_slot : int;
   c_req : request;
   c_res : result;
-  c_time : int;  (* apply time, starts the batch-timeout clock *)
 }
 
 (* Last applied request per client, for deduplication of re-sends. *)
@@ -121,7 +120,11 @@ type dedup = { d_seq : int; d_res : result; d_shard : int; d_slot : int }
 
 type t = {
   mode : mode;
-  shards : shard array;
+  shards : shard array;  (* the slice's local shards only *)
+  group : int;  (* slice: this instance owns global shards *)
+  stride : int;  (* [s] with [s mod stride = group] *)
+  total : int;  (* global shard count across all slices *)
+  commit_interval : int;  (* group mode: commit at multiples of this *)
   last : (int, dedup) Hashtbl.t;  (* volatile; rebuilt in recovery *)
   pending : completion Queue.t;  (* group mode: awaiting the epoch fence *)
   mutable stop : bool;
@@ -190,17 +193,43 @@ let mk_ledger (module LMem : Nvt_nvm.Memory.S) () : ledger =
           !cells.(i) <- None
         done) }
 
-let shard_of t k =
-  (k * 0x9e3779b1) land max_int mod Array.length t.shards
+(* The global key -> shard map. A pure function of the global shard
+   count, shared by every slice and by the parallel runner's router, so
+   a key owns the same global shard no matter how shards are sliced
+   over domains. *)
+let global_shard ~shards k = (k * 0x9e3779b1) land max_int mod shards
 
-let create ?(poll_quantum = 100) ~structure ~(flavour : I.flavour)
-    ~shards:n ~mode () =
+(* Local index of a key's shard in this slice; a key routed to the
+   wrong slice is a router bug, not a recoverable condition. *)
+let shard_of t k =
+  let g = global_shard ~shards:t.total k in
+  if g mod t.stride <> t.group then
+    invalid_arg
+      (Printf.sprintf "service: shard %d not owned by slice %d/%d" g t.group
+         t.stride);
+  (g - t.group) / t.stride
+
+let global_of_local t i = t.group + (i * t.stride)
+let slice t = (t.group, t.stride)
+
+let create ?(poll_quantum = 100) ?(slice = (0, 1)) ?commit_interval
+    ~structure ~(flavour : I.flavour) ~shards:n ~mode () =
   if n < 1 then invalid_arg "service: shards must be >= 1";
+  let group, stride = slice in
+  if stride < 1 || group < 0 || group >= stride then
+    invalid_arg "service: slice must satisfy 0 <= group < stride";
+  let commit_interval =
+    match (commit_interval, mode) with
+    | Some i, _ -> max 1 i
+    | None, Group { timeout; _ } -> max 1 timeout
+    | None, Per_op -> 1
+  in
   let policy = flavour.policy in
   let (module Pol : I.POLICY) = policy in
   let module L = Pol.Apply (Sim_mem) in
+  let local = if group >= n then 0 else (n - group + stride - 1) / stride in
   let shards =
-    Array.init n (fun _ ->
+    Array.init local (fun _ ->
         { store = mk_store structure policy;
           ledger = mk_ledger (module L.Mem) ();
           queue = Queue.create ();
@@ -209,6 +238,10 @@ let create ?(poll_quantum = 100) ~structure ~(flavour : I.flavour)
   in
   { mode;
     shards;
+    group;
+    stride;
+    total = n;
+    commit_interval;
     last = Hashtbl.create 64;
     pending = Queue.create ();
     stop = false;
@@ -229,10 +262,14 @@ let shard_count t = Array.length t.shards
 let request_stop t = t.stop <- true
 
 (* Direct store access for prefill (bypasses the ledger and hooks; use
-   in setup mode, then [Machine.persist_all]). *)
+   in setup mode, then [Machine.persist_all]). Keys owned by another
+   slice are skipped, so every slice can be prefilled from the same
+   global key list. *)
 let prefill t keys =
   List.iter
-    (fun k -> ignore (t.shards.(shard_of t k).store.apply (Put (k, k))))
+    (fun k ->
+      if global_shard ~shards:t.total k mod t.stride = t.group then
+        ignore (t.shards.(shard_of t k).store.apply (Put (k, k))))
     keys
 
 (* ------------------------------------------------------------------ *)
@@ -297,13 +334,7 @@ let process t shard_ix req =
     sh.next_slot <- slot + 1;
     Hashtbl.replace t.last req.client
       { d_seq = req.seq; d_res = res; d_shard = shard_ix; d_slot = slot };
-    let it =
-      { c_shard = shard_ix;
-        c_slot = slot;
-        c_req = req;
-        c_res = res;
-        c_time = Machine.now (Machine.get ()) }
-    in
+    let it = { c_shard = shard_ix; c_slot = slot; c_req = req; c_res = res } in
     (match t.mode with
     | Per_op -> commit t [ it ]
     | Group _ -> Queue.push it t.pending)
@@ -324,29 +355,24 @@ let worker t shard_ix () =
   in
   loop ()
 
-let committer t ~batch ~timeout () =
+(* The group committer wakes at virtual-time multiples of
+   [commit_interval] and commits whatever accumulated since the last
+   boundary. Commit points are therefore a pure function of virtual
+   time — they do not depend on batch composition — which is what lets
+   slices of one service on different domains commit at the same
+   global boundaries, and the parallel runner release group acks at
+   domain-count-independent times. The batch-size trigger of the
+   [Group] mode is subsumed: a larger interval is a larger batch. *)
+let committer t () =
   let m = Machine.get () in
+  let interval = t.commit_interval in
   let rec loop () =
-    let n = Queue.length t.pending in
-    if n = 0 then begin
-      if not t.stop then begin
-        Machine.sleep m t.poll_quantum;
-        loop ()
-      end
-    end
-    else begin
-      let oldest = (Queue.peek t.pending).c_time in
-      if n >= batch || Machine.now m - oldest >= timeout || t.stop then begin
-        let items = List.of_seq (Queue.to_seq t.pending) in
-        Queue.clear t.pending;
-        commit t items;
-        loop ()
-      end
-      else begin
-        Machine.sleep m t.poll_quantum;
-        loop ()
-      end
-    end
+    let now = Machine.now m in
+    Machine.sleep m ((((now / interval) + 1) * interval) - now);
+    let items = List.of_seq (Queue.to_seq t.pending) in
+    Queue.clear t.pending;
+    commit t items;
+    if not (t.stop && Queue.is_empty t.pending) then loop ()
   in
   loop ()
 
@@ -357,8 +383,7 @@ let start t m =
   t.stop <- false;
   Array.iteri (fun i _ -> ignore (Machine.spawn m (worker t i))) t.shards;
   match t.mode with
-  | Group { batch; timeout } ->
-    ignore (Machine.spawn m (committer t ~batch ~timeout))
+  | Group _ -> ignore (Machine.spawn m (committer t))
   | Per_op -> ()
 
 let submit t req =

@@ -29,9 +29,14 @@ type request = { client : int; seq : int; op : op }
 type mode =
   | Per_op  (** commit (2 fences) on the worker, per request *)
   | Group of { batch : int; timeout : int }
-      (** a committer thread batches completions until [batch] of them
-          accumulated or the oldest waited [timeout] time units, then
-          commits the batch under one pair of fences *)
+      (** a committer thread commits accumulated completions under one
+          pair of fences at virtual-time multiples of the commit
+          interval (default: [timeout]; see [?commit_interval] on
+          {!create}). Commit points are a pure function of virtual
+          time, so slices of one logical service commit at the same
+          global boundaries regardless of how shards are spread over
+          domains. [batch] survives in {!mode_name} as the
+          configuration label. *)
 
 val mode_name : mode -> string
 
@@ -40,8 +45,15 @@ type entry = { e_client : int; e_seq : int; e_op : op; e_res : result }
 
 type t
 
+val global_shard : shards:int -> int -> int
+(** [global_shard ~shards k] is the global shard owning key [k] in a
+    service of [shards] shards — a pure function shared by every slice
+    and by the parallel runner's request router. *)
+
 val create :
   ?poll_quantum:int ->
+  ?slice:int * int ->
+  ?commit_interval:int ->
   structure:(module Nvt_harness.Instances.STRUCTURE) ->
   flavour:Nvt_harness.Instances.flavour ->
   shards:int ->
@@ -50,7 +62,19 @@ val create :
   t
 (** Build the shards and their ledgers on the current machine (call in
     setup mode). [poll_quantum] is the timed-wait length idle threads
-    sleep between queue polls (default 100). *)
+    sleep between queue polls (default 100).
+
+    [slice] is [(group, stride)] with [0 <= group < stride]: build only
+    the local instance of a service whose [shards] global shards are
+    striped over [stride] domain groups — this instance owns the global
+    shards [s] with [s mod stride = group]. The default [(0, 1)] owns
+    everything. {!submit} on a key owned by another slice raises.
+
+    [commit_interval] overrides the group committer's virtual-time
+    commit boundary (default: the mode's [timeout]); the parallel
+    runner passes the interval rounded up to a whole number of merge
+    epochs so acknowledgement release times quantize identically for
+    every domain count. *)
 
 val prefill : t -> int list -> unit
 (** Load keys (value = key) directly into the shard stores, bypassing
@@ -84,6 +108,16 @@ val set_on_ack : t -> (request -> result -> dedup:bool -> unit) -> unit
 (** {1 Introspection} (quiescent / setup-mode use only) *)
 
 val shard_count : t -> int
+(** The number of {e local} shards this slice owns. *)
+
+val slice : t -> int * int
+(** The [(group, stride)] this instance was created with. *)
+
+val global_of_local : t -> int -> int
+(** The global shard index of local shard [i]: [group + i * stride].
+    Inverse of the ownership mapping; the runner uses it to merge
+    per-slice logs and histories into global-shard order. *)
+
 val contents : t -> (int * int) list
 val check_invariants : t -> unit
 

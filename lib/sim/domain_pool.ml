@@ -1,0 +1,120 @@
+(* A small fixed-size pool of OCaml domains for the shard-per-domain
+   runner and the parallel harnesses.
+
+   The pool runs one indexed job per worker and blocks until all of
+   them returned — a fork/join barrier. Worker 0 is the calling domain
+   itself (so a pool of size 1 degenerates to a plain call with zero
+   synchronization), workers 1..n-1 are spawned domains that persist
+   across [run] calls: the service runner fires one [run] per merge
+   epoch, and respawning domains at that rate would cost more than the
+   epochs themselves.
+
+   Synchronization is a generation counter under one mutex: [run]
+   publishes the job and bumps the generation, the workers wake on the
+   condition variable, execute, and decrement [remaining]; the caller
+   waits until it reaches zero. The mutex acquire/release pairs give
+   the happens-before edges that make the epoch discipline sound: a
+   machine mutated by worker g during an epoch is read by the caller
+   only after the barrier, and vice versa.
+
+   Exceptions raised by a job are caught, carried across the join, and
+   re-raised on the caller (lowest worker index wins), with the
+   original backtrace — a [Corrupt_read] on shard 3's domain must
+   surface exactly like one on a single-domain run. *)
+
+type t = {
+  size : int;
+  mutex : Mutex.t;
+  work_cond : Condition.t;  (* workers wait here for a new generation *)
+  done_cond : Condition.t;  (* the caller waits here for completions *)
+  mutable job : (int -> unit) option;
+  mutable generation : int;
+  mutable remaining : int;
+  mutable failures : (int * exn * Printexc.raw_backtrace) list;
+  mutable stopping : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let worker t i () =
+  let gen = ref 0 in
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while (not t.stopping) && t.generation = !gen do
+      Condition.wait t.work_cond t.mutex
+    done;
+    if t.stopping then Mutex.unlock t.mutex
+    else begin
+      gen := t.generation;
+      let job = Option.get t.job in
+      Mutex.unlock t.mutex;
+      (try job i
+       with e ->
+         let bt = Printexc.get_raw_backtrace () in
+         Mutex.lock t.mutex;
+         t.failures <- (i, e, bt) :: t.failures;
+         Mutex.unlock t.mutex);
+      Mutex.lock t.mutex;
+      t.remaining <- t.remaining - 1;
+      if t.remaining = 0 then Condition.signal t.done_cond;
+      Mutex.unlock t.mutex;
+      loop ()
+    end
+  in
+  loop ()
+
+let create n =
+  if n < 1 then invalid_arg "Domain_pool.create: size must be >= 1";
+  let t =
+    { size = n;
+      mutex = Mutex.create ();
+      work_cond = Condition.create ();
+      done_cond = Condition.create ();
+      job = None;
+      generation = 0;
+      remaining = 0;
+      failures = [];
+      stopping = false;
+      domains = [] }
+  in
+  t.domains <- List.init (n - 1) (fun i -> Domain.spawn (worker t (i + 1)));
+  t
+
+let size t = t.size
+
+let run t f =
+  if t.size = 1 then f 0
+  else begin
+    Mutex.lock t.mutex;
+    t.job <- Some f;
+    t.failures <- [];
+    t.remaining <- t.size - 1;
+    t.generation <- t.generation + 1;
+    Condition.broadcast t.work_cond;
+    Mutex.unlock t.mutex;
+    (* the caller is worker 0 *)
+    (try f 0
+     with e ->
+       let bt = Printexc.get_raw_backtrace () in
+       Mutex.lock t.mutex;
+       t.failures <- (0, e, bt) :: t.failures;
+       Mutex.unlock t.mutex);
+    Mutex.lock t.mutex;
+    while t.remaining > 0 do
+      Condition.wait t.done_cond t.mutex
+    done;
+    t.job <- None;
+    let failures = List.sort compare t.failures in
+    t.failures <- [];
+    Mutex.unlock t.mutex;
+    match failures with
+    | [] -> ()
+    | (_, e, bt) :: _ -> Printexc.raise_with_backtrace e bt
+  end
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stopping <- true;
+  Condition.broadcast t.work_cond;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.domains;
+  t.domains <- []

@@ -1,0 +1,29 @@
+(** A fixed-size fork/join pool of OCaml domains.
+
+    {!run} executes one indexed job per worker and blocks until every
+    job returned. Worker 0 is the calling domain; workers 1..n-1 are
+    spawned once at {!create} and persist across {!run} calls, so a
+    per-epoch barrier costs two mutex round-trips, not a domain spawn.
+    The mutex hand-offs around each {!run} give the happens-before
+    edges that let the caller touch worker-mutated state between calls
+    (and vice versa) without data races.
+
+    A job's exception is carried across the join and re-raised on the
+    caller (lowest worker index first), with its original backtrace. *)
+
+type t
+
+val create : int -> t
+(** A pool with [n >= 1] workers total; spawns [n - 1] domains. A pool
+    of size 1 runs jobs inline with zero synchronization. *)
+
+val size : t -> int
+
+val run : t -> (int -> unit) -> unit
+(** [run t f] executes [f i] for each worker [i] in [0 .. size - 1]
+    ([f 0] on the caller) and returns when all have finished. Do not
+    call re-entrantly from inside a job. *)
+
+val shutdown : t -> unit
+(** Stop and join the spawned domains. The pool must not be used
+    afterwards. *)

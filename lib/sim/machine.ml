@@ -168,6 +168,10 @@ type t = {
          thread; used by the systematic explorer. Default: least virtual
          time. *)
   stats : Stats.t;
+  suppress : Nvt_nvm.Suppress.t;
+      (* the machine's suppression context, installed alongside the
+         machine by [set_current] so two machines on two domains (or
+         interleaved on one) never share counters or suppression state *)
   mutable tracer : tracer option;
   mutable on_step : (int -> int -> unit) option;
       (* called with (step, tid) at every executed scheduling step; the
@@ -176,11 +180,14 @@ type t = {
 
 type _ Effect.t += Yield : unit Effect.t
 
-(* The simulator runs on a single domain, so a plain ref suffices. *)
-let current_machine : t option ref = ref None
+(* The current machine is domain-local: each domain routes its memory
+   operations to its own machine, which is what lets the service runner
+   advance one machine per domain in parallel. *)
+let current_machine : t option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
 
 let create ?(seed = 0) ?(cost = Cost_model.nvram) ?(eviction = No_eviction)
-    ?stall ?(jitter = 0) () =
+    ?stall ?(jitter = 0) ?(suppress = Nvt_nvm.Suppress.ambient ()) () =
   let m =
     { rng = Random.State.make [| seed; 0x5eed |];
       cost;
@@ -201,18 +208,24 @@ let create ?(seed = 0) ?(cost = Cost_model.nvram) ?(eviction = No_eviction)
       crash_at_step = None;
       scheduler = None;
       stats = Stats.zero ();
+      suppress;
       tracer = None;
       on_step = None }
   in
-  current_machine := Some m;
+  Domain.DLS.set current_machine (Some m);
+  Nvt_nvm.Suppress.use m.suppress;
   m
 
-let set_current m = current_machine := Some m
+let set_current m =
+  Domain.DLS.set current_machine (Some m);
+  Nvt_nvm.Suppress.use m.suppress
 
 let get () =
-  match !current_machine with
+  match Domain.DLS.get current_machine with
   | Some m -> m
   | None -> failwith "Sim: no current machine"
+
+let suppress m = m.suppress
 
 let clock m = m.clock
 let steps m = m.steps
@@ -596,73 +609,154 @@ let crash m =
   Dirty.clear m.dirty
 
 (* Reclamation layers report frees through [Nvt_nvm.Memory.reclaimed];
-   route them to the current machine's working-set estimate. *)
+   route them to the calling domain's current machine's working-set
+   estimate. The hook is installed once per process; the DLS lookup at
+   call time keeps it correct on every domain. *)
 let () =
   Nvt_nvm.Memory.on_reclaim :=
-    fun n -> match !current_machine with Some m -> retire m n | None -> ()
+    fun n ->
+      match Domain.DLS.get current_machine with
+      | Some m -> retire m n
+      | None -> ()
 
 let crash_due m th =
   (match m.crash_at_step with Some n -> m.steps >= n | None -> false)
   || match m.crash_at_time with Some t -> th.vtime >= t | None -> false
 
-let run m =
-  set_current m;
-  let finish () =
-    (* Fail loudly if a fiber died on an unexpected exception. *)
-    List.iter
-      (fun th ->
-        match th.state with
-        | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
-        | _ -> ())
-      m.threads;
-    m.threads <- [];
-    Completed
-  in
-  let rec step th =
-    if crash_due m th then begin
-      let t = th.vtime in
-      if t > m.clock then m.clock <- t;
-      record_event m (Ev_crash { step = m.steps; time = t });
-      crash m;
-      m.crash_at_time <- None;
-      m.crash_at_step <- None;
-      Crashed_at t
+(* Fail loudly if a fiber died on an unexpected exception, then close
+   the era: a clean completion leaves no threads behind. *)
+let finish m =
+  List.iter
+    (fun th ->
+      match th.state with
+      | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+      | _ -> ())
+    m.threads;
+  m.threads <- []
+
+(* Raise a failed fiber's exception without waiting for the era to end;
+   used when pausing at a barrier so an external driver interleaving
+   machines surfaces a [Corrupt_read] (or any bug) promptly instead of
+   spinning other machines forever. *)
+let raise_any_failed m =
+  List.iter
+    (fun th ->
+      match th.state with
+      | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+      | _ -> ())
+    m.threads
+
+let do_crash m t =
+  if t > m.clock then m.clock <- t;
+  record_event m (Ev_crash { step = m.steps; time = t });
+  crash m;
+  m.crash_at_time <- None;
+  m.crash_at_step <- None
+
+(* Execute exactly one scheduling action of [th] (a stall draw counts:
+   the thread lost the CPU instead of acting). The rng-draw order —
+   crash check, stall draw, step count, eviction draw, jitter in the
+   fiber's charges — must match the historical run loop exactly: the
+   golden-schedule test pins it bit for bit. *)
+let exec_one m th =
+  match m.stall with
+  | Some { probability; max_units }
+    when Random.State.float m.rng 1.0 < probability ->
+    (* the thread loses the CPU instead of acting; someone else may
+       now be scheduled first *)
+    th.vtime <- th.vtime + 1 + Random.State.int m.rng max_units;
+    reschedule m th
+  | Some _ | None ->
+    m.steps <- m.steps + 1;
+    (match m.on_step with Some f -> f m.steps th.tid | None -> ());
+    if th.vtime > m.clock then m.clock <- th.vtime;
+    maybe_evict m;
+    m.running <- th;
+    (match th.state with
+    | Ready f ->
+      th.state <- Running;
+      Effect.Deep.match_with f () (handler th)
+    | Suspended k ->
+      th.state <- Running;
+      Effect.Deep.continue k ()
+    | Running | Finished | Failed _ -> assert false);
+    m.running <- dummy_thread;
+    reschedule m th
+
+(* One step of the scheduling loop, pausing (without executing) when
+   the next thread's virtual time has reached [time]. The default path
+   reads the heap root directly — no option or closure allocation at
+   any of the millions of steps per run. *)
+let step_once m ~time =
+  match m.scheduler with
+  | None ->
+    if Sched_heap.is_empty m.heap then begin
+      finish m;
+      `Completed
     end
     else begin
-      match m.stall with
-      | Some { probability; max_units }
-        when Random.State.float m.rng 1.0 < probability ->
-        (* the thread loses the CPU instead of acting; someone else
-           may now be scheduled first *)
-        th.vtime <- th.vtime + 1 + Random.State.int m.rng max_units;
-        reschedule m th;
-        loop ()
-      | Some _ | None ->
-        m.steps <- m.steps + 1;
-        (match m.on_step with Some f -> f m.steps th.tid | None -> ());
-        if th.vtime > m.clock then m.clock <- th.vtime;
-        maybe_evict m;
-        m.running <- th;
-        (match th.state with
-        | Ready f ->
-          th.state <- Running;
-          Effect.Deep.match_with f () (handler th)
-        | Suspended k ->
-          th.state <- Running;
-          Effect.Deep.continue k ()
-        | Running | Finished | Failed _ -> assert false);
-        m.running <- dummy_thread;
-        reschedule m th;
-        loop ()
+      let th = m.by_tid.(Sched_heap.root_tid m.heap) in
+      if th.vtime >= time then begin
+        raise_any_failed m;
+        `Barrier
+      end
+      else if crash_due m th then begin
+        let t = th.vtime in
+        do_crash m t;
+        `Crashed_at t
+      end
+      else begin
+        exec_one m th;
+        `Progress
+      end
     end
-  and loop () =
-    (* The default path reads the heap root directly — no option or
-       closure allocation at any of the millions of steps per run. *)
-    match m.scheduler with
+  | Some _ -> (
+    match pick_runnable m with
     | None ->
-      if Sched_heap.is_empty m.heap then finish ()
-      else step m.by_tid.(Sched_heap.root_tid m.heap)
-    | Some _ -> (
-      match pick_runnable m with None -> finish () | Some th -> step th)
+      finish m;
+      `Completed
+    | Some th ->
+      if th.vtime >= time then begin
+        (* the override's pick was removed from the heap; put it back
+           before pausing *)
+        reschedule m th;
+        raise_any_failed m;
+        `Barrier
+      end
+      else if crash_due m th then begin
+        reschedule m th;
+        let t = th.vtime in
+        do_crash m t;
+        `Crashed_at t
+      end
+      else begin
+        exec_one m th;
+        `Progress
+      end)
+
+let advance_to m ~time =
+  set_current m;
+  let rec loop () =
+    match step_once m ~time with
+    | `Progress -> loop ()
+    | (`Barrier | `Completed | `Crashed_at _) as r -> r
   in
   loop ()
+
+let run_step m =
+  set_current m;
+  match step_once m ~time:max_int with
+  | (`Progress | `Completed | `Crashed_at _) as r -> r
+  | `Barrier -> assert false (* no thread's vtime reaches max_int *)
+
+let run m =
+  match advance_to m ~time:max_int with
+  | `Completed -> Completed
+  | `Crashed_at t -> Crashed_at t
+  | `Barrier -> assert false
+
+let force_crash m =
+  set_current m;
+  let t = m.clock in
+  do_crash m t;
+  t

@@ -55,16 +55,26 @@ val create :
   ?eviction:eviction ->
   ?stall:stall ->
   ?jitter:int ->
+  ?suppress:Nvt_nvm.Suppress.t ->
   unit ->
   t
-(** A fresh machine, installed as the current one. [jitter] adds 0..n
-    random extra cost units per operation to break scheduling ties. *)
+(** A fresh machine, installed as the calling domain's current one.
+    [jitter] adds 0..n random extra cost units per operation to break
+    scheduling ties. [suppress] is the machine's mutation-suppression
+    context (default: the calling domain's ambient context, so a
+    suppression set up before creating the machine stays in force). *)
 
 val set_current : t -> unit
-(** Route subsequent {!module:Memory} operations to this machine. *)
+(** Route subsequent {!module:Memory} operations on the calling domain
+    to this machine, and install its suppression context. The current
+    machine is domain-local state: machines on different domains never
+    share it. *)
 
 val get : unit -> t
-(** The current machine; raises if none was created. *)
+(** The calling domain's current machine; raises if none was created. *)
+
+val suppress : t -> Nvt_nvm.Suppress.t
+(** The machine's suppression context. *)
 
 (** {1 Threads and execution} *)
 
@@ -75,6 +85,28 @@ val spawn : t -> (unit -> unit) -> int
 val run : t -> outcome
 (** Schedule until every thread finished or a crash fired. A thread that
     died on an unexpected exception re-raises it here. *)
+
+val advance_to : t -> time:int -> [ `Barrier | `Completed | `Crashed_at of int ]
+(** Schedule until the next runnable thread's virtual time has reached
+    [time] ([`Barrier]: nothing at a virtual time below [time] is left
+    to execute), every thread finished ([`Completed], re-raising a
+    failed fiber's exception as {!run} does), or a crash trigger fired.
+    An external driver interleaves several machines deterministically by
+    advancing each to the same sequence of virtual-time barriers; at a
+    barrier a failed fiber's exception is re-raised immediately rather
+    than at era end, so corruption on one machine surfaces promptly.
+    [advance_to ~time:max_int] is exactly {!run}. *)
+
+val run_step : t -> [ `Progress | `Completed | `Crashed_at of int ]
+(** Execute at most one scheduling action (a stall draw counts as one:
+    the thread lost the CPU instead of acting). The single-step form of
+    {!advance_to} for drivers that need finer interleaving control. *)
+
+val force_crash : t -> int
+(** Crash the machine now (tear down fibers, coin-flip pending
+    write-backs, wipe volatile state), regardless of crash triggers;
+    returns the crash's virtual time. The parallel runner uses it to
+    fire a crash at a virtual-time barrier across every machine. *)
 
 val set_crash_at_time : t -> int -> unit
 (** Crash when the next scheduled thread's virtual time reaches this. *)

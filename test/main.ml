@@ -17,6 +17,7 @@ let () =
       ("native_domains", Test_native.suite);
       ("crash_sweep", Test_crash_sweep.suite);
       ("service", Test_service.suite);
+      ("domains", Test_domains.suite);
       ("telemetry", Test_telemetry.suite);
       ("ablation", Test_ablation.suite);
       ("mutation", Test_mutation.suite);

@@ -8,7 +8,8 @@ Each FILE is a JSON artifact produced by `bench/main.exe` or
 
     nvtraverse-panels/1    bench panels --json   (BENCH_panels.json)
     nvtraverse-micro/1     bench micro --json    (BENCH_micro.json)
-    nvtraverse-selfperf/1  bench selfperf --json (BENCH_selfperf.json)
+    nvtraverse-selfperf/1  bench selfperf --json (legacy, pre-domains)
+    nvtraverse-selfperf/2  bench selfperf --json (BENCH_selfperf.json)
     nvtraverse-service/1   bench service --json  (BENCH_service.json)
     nvtraverse-mutation/1  nvtsim mutate         (MUTATION_report.json)
 
@@ -95,6 +96,27 @@ def validate_selfperf(sp):
                 f"inconsistent rate in row {r}",
             )
     return f"{len(sp['rows'])} rows over threads {threads}"
+
+
+def validate_selfperf2(sp):
+    base = validate_selfperf(sp)
+    drows = sp["domain_rows"]
+    require(drows, "schema /2 without domain_rows")
+    domains = sorted({r["domains"] for r in drows})
+    require(1 in domains, "domain sweep has no domains=1 baseline")
+    for r in drows:
+        require(r["domains"] >= 1, f"degenerate domain count in {r}")
+        require(r["threads_per_domain"] >= 1, f"degenerate threads in {r}")
+        require(r["steps"] > 0 and r["seconds"] > 0, f"degenerate row {r}")
+        rate = r["steps"] / r["seconds"]
+        require(
+            abs(rate - r["steps_per_sec"]) < 1e-4 * rate,
+            f"inconsistent rate in domain row {r}",
+        )
+    # no speedup assertion: the series records whatever the host's core
+    # count delivers, and a single-core runner legitimately reports a
+    # flat rate with D-fold wall time
+    return f"{base}; {len(drows)} domain rows over domains {domains}"
 
 
 # --------------------------------------------------------------- service
@@ -227,6 +249,7 @@ VALIDATORS = {
     "nvtraverse-panels/1": validate_panels,
     "nvtraverse-micro/1": validate_micro,
     "nvtraverse-selfperf/1": validate_selfperf,
+    "nvtraverse-selfperf/2": validate_selfperf2,
     "nvtraverse-service/1": validate_service,
     "nvtraverse-mutation/1": validate_mutation,
 }
