@@ -87,6 +87,18 @@ let service_cmd =
        ~doc:"Sharded durable service: group vs per-op acknowledgement")
     Term.(const run_service $ quick $ seed $ json)
 
+let run_recovery_svc quick seed json =
+  Recovery_svc.run
+    ?json_path:(if json then Some "BENCH_recovery.json" else None)
+    ~quick ~seed ()
+
+let recovery_svc_cmd =
+  Cmd.v
+    (Cmd.info "recovery-service"
+       ~doc:"Service recovery time vs log length, checkpoint interval \
+             and domain count")
+    Term.(const run_recovery_svc $ quick $ seed $ json)
+
 let default = Term.(const run_panels $ panel_ids $ full $ seed $ json)
 
 let () =
@@ -104,4 +116,5 @@ let () =
             micro_cmd;
             native_cmd;
             selfperf_cmd;
-            service_cmd ]))
+            service_cmd;
+            recovery_svc_cmd ]))

@@ -269,6 +269,16 @@ let mutate quick deep structures policies domains out =
       end)
     policies;
   let r = Mutlab.run ~structures ~policies ~domains sc in
+  (* the service-site battery rides along only when no -s filter was
+     given: -s selects structure batteries, and the multicore smoke
+     byte-compares filtered runs across domain counts *)
+  let r =
+    if structures = [] then
+      { r with
+        Mutlab.flavours =
+          r.flavours @ Nvt_service.Svclab.run ~policies sc }
+    else r
+  in
   Format.printf "%a" Mutlab.pp_report r;
   H.Json.write_file out (Mutlab.to_json r);
   Printf.printf "report:     %s\n" out;
@@ -336,8 +346,25 @@ let svc_domains =
               virtual-time barriers. Crash-free runs keep the same apply \
               histories and verdict for every value.")
 
+let ckpt =
+  Arg.(
+    value & opt int 0
+    & info [ "ckpt" ] ~docv:"INTERVAL"
+        ~doc:"Checkpoint each shard every $(docv) simulated time units \
+              (snapshot + committed-prefix log truncation); 0 disables \
+              checkpointing. Recovery then replays only the delta since \
+              the last checkpoint.")
+
+let recovery_crashes =
+  Arg.(
+    value & opt_all int []
+    & info [ "recovery-crash" ] ~docv:"STEPS"
+        ~doc:"Crash again this many steps into a recovery pass \
+              (repeatable; each threshold is consumed by one recovery, \
+              which then restarts — the double-crash scenario).")
+
 let serve s_name p_name shards clients requests gap skew updates range seed
-    batch timeout crashes eviction dram domains =
+    batch timeout crashes eviction dram domains ckpt recovery_crashes =
   (match I.flavour p_name with
   | Some _ -> ()
   | None ->
@@ -365,7 +392,9 @@ let serve s_name p_name shards clients requests gap skew updates range seed
       eviction =
         (if eviction > 0.0 then Nvt_sim.Machine.Random_eviction eviction
          else Nvt_sim.Machine.No_eviction);
-      domains }
+      domains;
+      checkpoint_interval = ckpt;
+      recovery_crashes }
   in
   match Runner.run cfg with
   | r ->
@@ -412,7 +441,7 @@ let () =
       Term.(
         const serve $ svc_structure $ svc_policy $ shards $ clients $ requests
         $ gap $ skew $ updates $ range $ seed $ batch $ batch_timeout
-        $ crashes $ eviction $ dram $ svc_domains)
+        $ crashes $ eviction $ dram $ svc_domains $ ckpt $ recovery_crashes)
   in
   exit
     (Cmd.eval

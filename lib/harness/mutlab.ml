@@ -65,6 +65,11 @@ type scale = {
   window_s0 : int;  (* T0 suspension points swept *)
   window_seeds : int;  (* machine seeds per suspension point *)
   structures : string list;  (* default structure set *)
+  service : (string * string) list;
+      (* (structure, policy) combos of the service-runner battery over
+         the svc: commit/checkpoint sites. That battery lives in
+         [Nvt_service.Svclab] — this library sits below [nvt_service]
+         and cannot run it; the scale only carries its parameters. *)
 }
 
 let quick =
@@ -76,7 +81,8 @@ let quick =
     evict_points = 8;
     window_s0 = 40;
     window_seeds = 2;
-    structures = [ "list"; "bst-nm" ] }
+    structures = [ "list"; "bst-nm" ];
+    service = [ ("hash", "nvt") ] }
 
 let deep =
   { scale_name = "deep";
@@ -87,7 +93,8 @@ let deep =
     evict_points = 32;
     window_s0 = 60;
     window_seeds = 5;
-    structures = List.map fst I.structures }
+    structures = List.map fst I.structures;
+    service = [ ("hash", "nvt"); ("list", "nvt"); ("hash", "flit") ] }
 
 (* ------------------------------------------------------------------ *)
 (* Attacks                                                             *)
@@ -111,6 +118,11 @@ type attack =
   | Stall of { seed : int; crash_step : int }
   | Evict of { seed : int; crash_step : int; probability : float }
   | Window of { wseed : int; s0 : int; t1 : t1_op }
+  | Svc_crash of { seed : int; crash_step : int; recovery_step : int option }
+      (* the service-runner battery ([Nvt_service.Svclab]): crash the
+         whole sharded service at an aggregate step threshold, and
+         optionally crash it again [recovery_step] aggregate steps into
+         the recovery pass (a double-crash era) *)
 
 let pp_attack ppf = function
   | Crash { seed; crash_step } ->
@@ -123,6 +135,11 @@ let pp_attack ppf = function
   | Window { wseed; s0; t1 } ->
     Format.fprintf ppf "window(seed=%d, s0=%d, t1=%s)" wseed s0
       (match t1 with Insert_other -> "insert" | Member_target -> "member")
+  | Svc_crash { seed; crash_step; recovery_step = None } ->
+    Format.fprintf ppf "svc-crash(seed=%d, step=%d)" seed crash_step
+  | Svc_crash { seed; crash_step; recovery_step = Some r } ->
+    Format.fprintf ppf "svc-crash(seed=%d, step=%d, recovery_step=%d)" seed
+      crash_step r
 
 (* Post-crash check shared by every attack: recover, check invariants,
    run a verification era observing every key (lost completed inserts
@@ -273,6 +290,10 @@ let run_attack (module S : SET) (a : attack) : string option =
         ~seed ~crash_step:(Some crash_step)
         ~eviction:(Machine.Random_eviction probability) ~stall:None
     | Window { wseed; s0; t1 } -> window_run (module S) ~wseed ~s0 ~t1
+    | Svc_crash _ ->
+      invalid_arg
+        "Mutlab.run_attack: service attacks replay through \
+         Nvt_service.Svclab.run_attack"
   in
   match outcome with
   | `Violation d -> Some d
@@ -676,6 +697,14 @@ let attack_to_json (a : attack) : Json.t =
            Str (match t1 with
                | Insert_other -> "insert"
                | Member_target -> "member")) ]
+  | Svc_crash { seed; crash_step; recovery_step } ->
+    Obj
+      ([ ("kind", Json.Str "svc-crash"); ("seed", Json.Int seed);
+         ("crash_step", Json.Int crash_step) ]
+      @
+      match recovery_step with
+      | Some r -> [ ("recovery_step", Json.Int r) ]
+      | None -> [])
 
 let site_to_json (sr : site_report) : Json.t =
   let base =

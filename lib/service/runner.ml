@@ -89,6 +89,9 @@ type config = {
   audit : bool;  (* post-run re-send audit *)
   domains : int;  (* shard groups on real domains; clamped to shards *)
   merge_epoch : int;  (* virtual time units between merge barriers *)
+  checkpoint_interval : int;  (* 0: no checkpoints *)
+  recovery_crashes : int list;  (* step thresholds of crashes fired
+                                   *during* recovery (double-crash) *)
 }
 
 let default_config =
@@ -109,7 +112,9 @@ let default_config =
     watchdog = 2_000_000;
     audit = true;
     domains = 1;
-    merge_epoch = 500 }
+    merge_epoch = 500;
+    checkpoint_interval = 0;
+    recovery_crashes = [] }
 
 type latency = { p50 : int; p95 : int; p99 : int; lmax : int; mean : float }
 
@@ -122,6 +127,13 @@ type report = {
   audit_acks : int;
   crashes_requested : int;
   crashes_fired : int;
+  recovery_crashes_requested : int;
+  recovery_crashes_fired : int;
+  checkpoints : int;  (* checkpoints durably committed *)
+  truncated : int;  (* log slots dropped by checkpoints *)
+  replayed : int;  (* log entries replayed by recovery passes *)
+  recovery_steps : int;  (* aggregate steps spent inside recovery *)
+  recovery_time : int;  (* virtual time consumed by recovery passes *)
   eras : int;
   makespan : int;
   steps : int;
@@ -186,6 +198,13 @@ let run (c : config) : report =
   let is_group =
     match c.mode with Service.Group _ -> true | Service.Per_op -> false
   in
+  (* Checkpoint boundaries rounded to whole epochs for the same reason
+     as commit boundaries: a checkpoint's cost lands between barriers
+     identically for every domain count. *)
+  let checkpoint =
+    if c.checkpoint_interval <= 0 then 0
+    else (c.checkpoint_interval + epoch - 1) / epoch * epoch
+  in
   let machines =
     Array.init domains (fun g ->
         Machine.create ~seed:(c.seed + (1031 * g)) ~cost:c.cost
@@ -196,8 +215,8 @@ let run (c : config) : report =
   let services =
     Array.init domains (fun g ->
         Machine.set_current machines.(g);
-        Service.create ~slice:(g, domains) ~commit_interval ~structure ~flavour
-          ~shards:c.shards ~mode:c.mode ())
+        Service.create ~slice:(g, domains) ~commit_interval ~checkpoint
+          ~structure ~flavour ~shards:c.shards ~mode:c.mode ())
   in
   let prefill =
     List.filter (fun k -> k < c.key_range)
@@ -426,17 +445,59 @@ let run (c : config) : report =
   let crash_all () =
     Array.iter (fun m -> ignore (Machine.force_crash m)) machines
   in
-  let recover_all () =
-    Array.iteri
-      (fun g svc ->
-        Machine.set_current machines.(g);
-        Service.recover svc)
-      services
-  in
   let vtime = ref 0 in
   let fired = ref 0 in
   let eras_count = ref 0 in
   let stalled = ref false in
+  let rc_left = ref c.recovery_crashes in
+  let rc_fired = ref 0 in
+  (* Parallel recovery: spawn each shard's recovery pass as a simulated
+     thread on its slice's machine, then drive all machines through the
+     same barrier loop as an era — recovery consumes virtual time (the
+     availability gap the recovery bench measures) and shards recover
+     concurrently. A pending [recovery_crashes] threshold fires a crash
+     *during* recovery exactly like an era crash, after which recovery
+     restarts from the durable state (it is read-only plus volatile
+     resets, so restarting is always safe). *)
+  let recovery_steps = ref 0 in
+  let recovery_time = ref 0 in
+  let rec recover_parallel () =
+    Array.iteri
+      (fun g svc ->
+        Machine.set_current machines.(g);
+        Service.spawn_recovery svc machines.(g))
+      services;
+    let base_steps = total_steps () in
+    let base_vtime = !vtime in
+    (* called at every exit from this pass — completion, watchdog, or
+       a recovery crash handing off to the restarted pass *)
+    let account () =
+      recovery_steps := !recovery_steps + (total_steps () - base_steps);
+      recovery_time := !recovery_time + (!vtime - base_vtime)
+    in
+    let rec loop () =
+      vtime := !vtime + epoch;
+      advance_all !vtime;
+      let rsteps = total_steps () - base_steps in
+      match !rc_left with
+      | s :: rest when rsteps >= s ->
+        rc_left := rest;
+        incr rc_fired;
+        account ();
+        crash_all ();
+        recover_parallel ()
+      | _ ->
+        if Array.for_all (fun r -> r = `Completed) results then account ()
+        else if rsteps >= c.watchdog then begin
+          stalled := true;
+          account ();
+          violation "stalled: recovery watchdog fired after %d steps"
+            c.watchdog
+        end
+        else loop ()
+    in
+    loop ()
+  in
   (* One era: start the services, re-send outstanding requests, then
      advance all machines barrier by barrier until they complete, the
      era's crash threshold fires, or the watchdog trips. *)
@@ -462,7 +523,7 @@ let run (c : config) : report =
         process_ready ~all:true !vtime;
         crash_all ();
         incr fired;
-        recover_all ()
+        recover_parallel ()
       | _ ->
         process_ready ~all:false !vtime;
         release_arrivals !vtime;
@@ -473,7 +534,10 @@ let run (c : config) : report =
         if Array.for_all (fun r -> r = `Completed) results then
           (* quiescent: sweep any acks still deferred past this barrier *)
           process_ready ~all:true !vtime
-        else if threshold = None && era_steps >= c.watchdog then begin
+        else if era_steps >= c.watchdog then begin
+          (* armed whether or not the era has a crash threshold: an era
+             that deadlocks before its crash fires must still surface
+             as a stall, not simulate forever *)
           if !audit_mode then
             violation "audit stalled: %d/%d dedup acks" !audit_acks
               !audit_expected
@@ -489,9 +553,9 @@ let run (c : config) : report =
     loop ()
   in
   let rec eras = function
-    | [] -> if !completed < c.requests then run_era None
+    | [] -> if !completed < c.requests && not !stalled then run_era None
     | s :: rest ->
-      if !completed < c.requests then begin
+      if !completed < c.requests && not !stalled then begin
         run_era (Some s);
         eras rest
       end
@@ -515,8 +579,42 @@ let run (c : config) : report =
   if not !stalled then begin
     (try Array.iter Service.check_invariants services
      with Failure msg -> violation "invariant: %s" msg);
+    (* Per global shard, the durably committed checkpoint (base, store
+       snapshot, covered (client, seq) dedup records). Shards without a
+       checkpoint report base 0. *)
+    let ckpt = Array.make c.shards (0, [], []) in
+    Array.iter
+      (fun svc ->
+        Array.iteri
+          (fun li st -> ckpt.(Service.global_of_local svc li) <- st)
+          (Service.checkpoint_state svc))
+      services;
+    (* The replay model seeds each shard's keys from its checkpoint
+       snapshot when one committed (the snapshot *is* the model replay
+       of the truncated prefix over the prefill), else from the
+       prefill, then replays the retained log suffixes. *)
     let model : (int, int) Hashtbl.t = Hashtbl.create (2 * c.key_range) in
-    List.iter (fun k -> Hashtbl.replace model k k) prefill;
+    List.iter
+      (fun k ->
+        let base, _, _ = ckpt.(Service.global_shard ~shards:c.shards k) in
+        if base = 0 then Hashtbl.replace model k k)
+      prefill;
+    Array.iter
+      (fun (_, pairs, _) ->
+        List.iter (fun (k, v) -> Hashtbl.replace model k v) pairs)
+      ckpt;
+    (* client -> highest checkpoint-covered seq: requests whose log
+       record was truncated away are vouched for by the checkpoint *)
+    let covered : (int, int) Hashtbl.t = Hashtbl.create 64 in
+    Array.iter
+      (fun (_, _, cov) ->
+        List.iter
+          (fun (cl, sq) ->
+            match Hashtbl.find_opt covered cl with
+            | Some s when s >= sq -> ()
+            | _ -> Hashtbl.replace covered cl sq)
+          cov)
+      ckpt;
     let apply_model (op : Service.op) : Service.result =
       match op with
       | Service.Put (k, v) ->
@@ -563,10 +661,31 @@ let run (c : config) : report =
         if n > 1 then
           violation "client=%d seq=%d committed %d times" cl sq n)
       seen;
+    (* client -> highest committed seq visible anywhere (retained
+       suffix records or checkpoint coverage). A sequential client
+       submits seq n+1 only after seq n was acknowledged — and an ack
+       happens only after commit — so a later committed seq vouches
+       for every earlier acked one even when both its log record and
+       its dedup-snapshot entry are gone: the dedup table keeps only
+       each client's latest record, so a shard's next checkpoint drops
+       a client whose newer traffic moved to another shard. *)
+    let max_committed : (int, int) Hashtbl.t = Hashtbl.create 64 in
+    let note cl sq =
+      match Hashtbl.find_opt max_committed cl with
+      | Some s when s >= sq -> ()
+      | _ -> Hashtbl.replace max_committed cl sq
+    in
+    Hashtbl.iter (fun (cl, sq) _ -> note cl sq) seen;
+    Hashtbl.iter note covered;
     Hashtbl.iter
       (fun (cl, sq) (x : rec_) ->
         if x.r_acks > 0 then begin
-          if Hashtbl.find_opt seen (cl, sq) <> Some 1 then
+          let vouched =
+            match Hashtbl.find_opt max_committed cl with
+            | Some s -> sq <= s
+            | None -> false
+          in
+          if not vouched then
             violation "client=%d seq=%d acknowledged but not committed" cl sq;
           if !fired = 0 && x.r_applies <> 1 then
             violation "crash-free: client=%d seq=%d applied %d times" cl sq
@@ -627,6 +746,22 @@ let run (c : config) : report =
     audit_acks = !audit_acks;
     crashes_requested = List.length c.crash_steps;
     crashes_fired = !fired;
+    recovery_crashes_requested = List.length c.recovery_crashes;
+    recovery_crashes_fired = !rc_fired;
+    checkpoints =
+      Array.fold_left
+        (fun n svc -> n + Service.checkpoints_taken svc)
+        0 services;
+    truncated =
+      Array.fold_left
+        (fun n svc -> n + Service.truncated_slots svc)
+        0 services;
+    replayed =
+      Array.fold_left
+        (fun n svc -> n + Service.replayed_slots svc)
+        0 services;
+    recovery_steps = !recovery_steps;
+    recovery_time = !recovery_time;
     eras = !eras_count;
     makespan = main_makespan;
     steps = main_steps;
@@ -661,6 +796,15 @@ let pp_report ppf r =
     r.acked c.requests r.applies r.resent r.dedup_acks r.audit_acks;
   Format.fprintf ppf "  crashes %d/%d  eras %d  steps %d  makespan %d@,"
     r.crashes_fired r.crashes_requested r.eras r.steps r.makespan;
+  if c.checkpoint_interval > 0 || r.recovery_crashes_requested > 0 then
+    Format.fprintf ppf
+      "  checkpoints %d  truncated %d  recovery crashes %d/%d@,"
+      r.checkpoints r.truncated r.recovery_crashes_fired
+      r.recovery_crashes_requested;
+  if r.crashes_fired > 0 || r.recovery_crashes_fired > 0 then
+    Format.fprintf ppf
+      "  recovery: replayed %d entries in %d steps (%d time units)@,"
+      r.replayed r.recovery_steps r.recovery_time;
   Format.fprintf ppf
     "  latency p50 %d  p95 %d  p99 %d  max %d  mean %.1f@,"
     r.latency.p50 r.latency.p95 r.latency.p99 r.latency.lmax r.latency.mean;
@@ -686,6 +830,13 @@ let mode_json (r : report) : Nvt_harness.Json.t =
       ("audit_acks", Int r.audit_acks);
       ("crashes_requested", Int r.crashes_requested);
       ("crashes_fired", Int r.crashes_fired);
+      ("recovery_crashes_requested", Int r.recovery_crashes_requested);
+      ("recovery_crashes_fired", Int r.recovery_crashes_fired);
+      ("checkpoints", Int r.checkpoints);
+      ("truncated", Int r.truncated);
+      ("replayed", Int r.replayed);
+      ("recovery_steps", Int r.recovery_steps);
+      ("recovery_time", Int r.recovery_time);
       ("eras", Int r.eras);
       ("steps", Int r.steps);
       ("makespan", Int r.makespan);

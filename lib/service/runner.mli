@@ -39,6 +39,14 @@ type config = {
           Default 1: everything on the calling domain. *)
   merge_epoch : int;
       (** virtual time units between merge barriers (default 500) *)
+  checkpoint_interval : int;
+      (** virtual-time checkpoint interval, rounded up to whole merge
+          epochs; 0 (the default) disables checkpointing *)
+  recovery_crashes : int list;
+      (** aggregate-step thresholds of crashes fired {e during}
+          recovery (double-crash eras): each recovery pass after an era
+          crash consumes the next threshold, crashes every machine, and
+          restarts recovery from the durable state. Default []. *)
 }
 
 val default_config : config
@@ -54,6 +62,19 @@ type report = {
   audit_acks : int;
   crashes_requested : int;
   crashes_fired : int;
+  recovery_crashes_requested : int;
+  recovery_crashes_fired : int;
+  checkpoints : int;  (** checkpoints durably committed *)
+  truncated : int;  (** log slots dropped by checkpoints *)
+  replayed : int;
+      (** committed log entries replayed by recovery passes: bounded by
+          the delta since the last checkpoint when checkpointing is on,
+          the whole committed log per pass otherwise *)
+  recovery_steps : int;
+      (** aggregate machine steps spent inside recovery passes *)
+  recovery_time : int;
+      (** virtual time consumed by recovery passes — the availability
+          gap the recovery bench measures *)
   eras : int;
   makespan : int;
   steps : int;

@@ -37,14 +37,30 @@
    batches them (size or timeout bound) under a single pair of fences —
    group commit, the NVRAM analogue of group-commit logging.
 
+   Checkpoints ([?checkpoint] interval on {!create}) bound recovery
+   cost: at virtual-time intervals the thread that owns a shard's
+   commit index (the worker in per-op mode, the committer in group
+   mode) snapshots the shard's committed state — a plain-OCaml model
+   mirror of the store plus the shard's dedup entries, captured in one
+   non-preemptible stretch so the cut is consistent — force-commits the
+   log up to the cut, and writes the snapshot through {!Checkpoint}
+   (the svc:ckpt_ sites). After the checkpoint's commit fence the covered
+   log prefix is dropped and its cells retired, so both the live-cell
+   estimate and recovery cost track the delta since the last
+   checkpoint, not the uptime.
+
    Recovery reads each shard's durable index, truncates the volatile
-   log to it (dropping cells beyond: a crash may have left them
-   corrupt, and FliT's write instruments a read of the old value, so
-   overwriting a corrupt cell is not an option), replays nothing into
-   the store (the store recovers through its own policy), and rebuilds
-   the per-client deduplication table from the committed entries.
-   Re-sent requests whose record is committed are answered from the
-   table without touching the store — exactly-once acknowledgement. *)
+   log to it (dropping — and retiring — cells beyond: a crash may have
+   left them corrupt, and FliT's write instruments a read of the old
+   value, so overwriting a corrupt cell is not an option), restores the
+   checkpoint snapshot if one committed, replays only the remaining
+   committed suffix to rebuild the per-client deduplication table
+   (last committed entry wins on equal (client, seq)), and leaves the
+   store to recover through its own policy. Re-sent requests whose
+   record is committed are answered from the table without touching
+   the store — exactly-once acknowledgement. {!spawn_recovery} runs
+   the same per-shard recovery as simulated threads, so shards recover
+   in parallel and recovery consumes measurable virtual time. *)
 
 module Machine = Nvt_sim.Machine
 module Sim_mem = Nvt_sim.Memory
@@ -80,6 +96,12 @@ let mode_name = function
    cell = cache-line granularity. *)
 type entry = { e_client : int; e_seq : int; e_op : op; e_res : result }
 
+(* One checkpointed dedup record: the shard's last committed (seq,
+   result) for a client, with the original slot so the re-send path's
+   committed-prefix test ([committed > slot]) keeps working after the
+   slot itself was truncated away. *)
+type ckpt_dedup = { k_client : int; k_seq : int; k_slot : int; k_res : result }
+
 (* The structure module is existential; close over its operations. *)
 type store = {
   apply : op -> result;
@@ -98,6 +120,9 @@ type ledger = {
   flush_index : unit -> unit;
   read_index : unit -> int;
   truncate : int -> unit;  (* drop cells at slots >= the argument *)
+  drop_below : int -> unit;  (* drop cells at slots < the argument *)
+  write_ckpt : int -> (int * int) array -> ckpt_dedup array -> unit;
+  read_ckpt : unit -> (int * (int * int) array * ckpt_dedup array) option;
 }
 
 type shard = {
@@ -106,6 +131,16 @@ type shard = {
   queue : request Queue.t;  (* volatile inbox; lost at a crash *)
   mutable next_slot : int;  (* volatile append cursor *)
   mutable committed : int;  (* volatile mirror of the durable index *)
+  mirror : (int, int) Hashtbl.t;
+      (* plain-OCaml model of the committed-prefix replay (put = add if
+         absent, del = remove), maintained in the same non-preemptible
+         stretch as the log append; the checkpoint snapshots it *)
+  mutable preseed : (int * int) list;
+      (* the prefill pairs — the mirror's base state, needed to re-seed
+         it when a recovery finds no committed checkpoint (a checkpoint
+         snapshot already contains them) *)
+  mutable base : int;  (* slots below this are checkpoint-covered *)
+  mutable next_ckpt : int;  (* per-op mode: next checkpoint boundary *)
 }
 
 type completion = {
@@ -125,6 +160,11 @@ type t = {
   stride : int;  (* [s] with [s mod stride = group] *)
   total : int;  (* global shard count across all slices *)
   commit_interval : int;  (* group mode: commit at multiples of this *)
+  ckpt_interval : int;  (* 0: checkpointing disabled *)
+  mutable next_ckpt : int;  (* group mode: committer's next boundary *)
+  mutable ckpt_count : int;
+  mutable truncated : int;  (* log slots dropped by checkpoints *)
+  mutable replayed : int;  (* log entries replayed by recovery passes *)
   last : (int, dedup) Hashtbl.t;  (* volatile; rebuilt in recovery *)
   pending : completion Queue.t;  (* group mode: awaiting the epoch fence *)
   mutable stop : bool;
@@ -155,10 +195,31 @@ let mk_store (structure : (module I.STRUCTURE)) (policy : I.policy) : store =
 let mk_ledger (module LMem : Nvt_nvm.Memory.S) () : ledger =
   let cells = ref (Array.make 64 (None : entry LMem.loc option)) in
   let index = LMem.alloc 0 in
+  let module C = Checkpoint.Make (LMem) in
+  let ckpt : ckpt_dedup C.t = C.create () in
   let cell slot =
     match !cells.(slot) with
     | Some c -> c
-    | None -> invalid_arg "service ledger: read of an absent slot"
+    | None ->
+      (* [failwith], not [invalid_arg]: with a suppressed svc:ckpt_ site
+         site a crash can durably commit a truncation whose checkpoint
+         descriptor was lost, and recovery then asks for a dropped
+         slot — the harnesses treat [Failure] as a recovery kill. *)
+      failwith "service ledger: read of an absent slot"
+  in
+  (* Null cells in [lo, hi), retiring the simulated locations of those
+     actually dropped (Some -> None transitions only, so truncation
+     after a crash-interrupted recovery never double-retires). *)
+  let drop lo hi =
+    let dropped = ref 0 in
+    for i = lo to hi - 1 do
+      match !cells.(i) with
+      | Some _ ->
+        !cells.(i) <- None;
+        incr dropped
+      | None -> ()
+    done;
+    Nvt_nvm.Memory.reclaimed !dropped
   in
   let append slot e =
     let n = Array.length !cells in
@@ -187,11 +248,10 @@ let mk_ledger (module LMem : Nvt_nvm.Memory.S) () : ledger =
           LMem.flush index
         end);
     read_index = (fun () -> LMem.read index);
-    truncate =
-      (fun from ->
-        for i = from to Array.length !cells - 1 do
-          !cells.(i) <- None
-        done) }
+    truncate = (fun from -> drop from (Array.length !cells));
+    drop_below = (fun upto -> drop 0 (min upto (Array.length !cells)));
+    write_ckpt = (fun upto pairs dedup -> C.write ckpt ~upto ~pairs ~dedup);
+    read_ckpt = (fun () -> C.read ckpt) }
 
 (* The global key -> shard map. A pure function of the global shard
    count, shared by every slice and by the parallel runner's router, so
@@ -213,7 +273,7 @@ let global_of_local t i = t.group + (i * t.stride)
 let slice t = (t.group, t.stride)
 
 let create ?(poll_quantum = 100) ?(slice = (0, 1)) ?commit_interval
-    ~structure ~(flavour : I.flavour) ~shards:n ~mode () =
+    ?(checkpoint = 0) ~structure ~(flavour : I.flavour) ~shards:n ~mode () =
   if n < 1 then invalid_arg "service: shards must be >= 1";
   let group, stride = slice in
   if stride < 1 || group < 0 || group >= stride then
@@ -234,7 +294,11 @@ let create ?(poll_quantum = 100) ?(slice = (0, 1)) ?commit_interval
           ledger = mk_ledger (module L.Mem) ();
           queue = Queue.create ();
           next_slot = 0;
-          committed = 0 })
+          committed = 0;
+          mirror = Hashtbl.create 64;
+          preseed = [];
+          base = 0;
+          next_ckpt = max_int })
   in
   { mode;
     shards;
@@ -242,6 +306,11 @@ let create ?(poll_quantum = 100) ?(slice = (0, 1)) ?commit_interval
     stride;
     total = n;
     commit_interval;
+    ckpt_interval = max 0 checkpoint;
+    next_ckpt = max_int;
+    ckpt_count = 0;
+    truncated = 0;
+    replayed = 0;
     last = Hashtbl.create 64;
     pending = Queue.create ();
     stop = false;
@@ -261,6 +330,15 @@ let set_on_ack t f = t.on_ack <- f
 let shard_count t = Array.length t.shards
 let request_stop t = t.stop <- true
 
+(* The committed-prefix model: put adds only if absent, del removes,
+   get reads — the exact semantics the runner's oracle replays, so a
+   checkpoint snapshot equals a model replay of the covered prefix. *)
+let mirror_apply sh op =
+  match op with
+  | Put (k, v) -> if not (Hashtbl.mem sh.mirror k) then Hashtbl.replace sh.mirror k v
+  | Del k -> Hashtbl.remove sh.mirror k
+  | Get _ -> ()
+
 (* Direct store access for prefill (bypasses the ledger and hooks; use
    in setup mode, then [Machine.persist_all]). Keys owned by another
    slice are skipped, so every slice can be prefilled from the same
@@ -268,8 +346,14 @@ let request_stop t = t.stop <- true
 let prefill t keys =
   List.iter
     (fun k ->
-      if global_shard ~shards:t.total k mod t.stride = t.group then
-        ignore (t.shards.(shard_of t k).store.apply (Put (k, k))))
+      if global_shard ~shards:t.total k mod t.stride = t.group then begin
+        let sh = t.shards.(shard_of t k) in
+        ignore (sh.store.apply (Put (k, k)));
+        if not (Hashtbl.mem sh.mirror k) then begin
+          Hashtbl.replace sh.mirror k k;
+          sh.preseed <- (k, k) :: sh.preseed
+        end
+      end)
     keys
 
 (* ------------------------------------------------------------------ *)
@@ -283,8 +367,13 @@ let prefill t keys =
 let commit t = function
   | [] -> ()
   | items ->
+    (* Slots below a shard's checkpoint base were force-committed (and
+       their cells dropped) by a checkpoint that raced this batch; they
+       are durable already and must not be re-flushed. *)
     List.iter
-      (fun it -> t.shards.(it.c_shard).ledger.flush_entry it.c_slot)
+      (fun it ->
+        let sh = t.shards.(it.c_shard) in
+        if it.c_slot >= sh.base then sh.ledger.flush_entry it.c_slot)
       items;
     t.svc_fence "svc:ledger_fence";
     let touched = Hashtbl.create 8 in
@@ -306,6 +395,63 @@ let commit t = function
     t.svc_fence "svc:commit_fence";
     Hashtbl.iter (fun si idx -> t.shards.(si).committed <- idx) touched;
     List.iter (fun it -> t.on_ack it.c_req it.c_res ~dedup:false) items
+
+(* ------------------------------------------------------------------ *)
+(* Checkpointing                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Snapshot and durably checkpoint one shard. Must run on the thread
+   that owns the shard's commit index (the worker in per-op mode, the
+   committer in group mode) so no other thread races the index.
+
+   The cut — (next_slot, mirror, dedup entries) — is captured before
+   the first simulated memory operation: everything below is plain
+   OCaml, and fibers are only preempted at simulated accesses, so the
+   snapshot is a consistent model replay of log prefix [0, upto) even
+   though workers of *other* shards keep running while the chunks are
+   written out. Entries of [0, upto) not yet covered by the index
+   (group mode: appended since the last boundary) are force-committed
+   under the standard two fences first; their acknowledgements still
+   release through the normal path ([commit] skips an index already at
+   or past a batch's slots but always acknowledges). *)
+let checkpoint_shard t si =
+  let sh = t.shards.(si) in
+  let upto = sh.next_slot in
+  if upto > sh.base then begin
+    let pairs =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) sh.mirror []
+      |> List.sort compare |> Array.of_list
+    in
+    let dedup =
+      Hashtbl.fold
+        (fun client d acc ->
+          if d.d_shard = si && d.d_slot < upto then
+            { k_client = client; k_seq = d.d_seq; k_slot = d.d_slot;
+              k_res = d.d_res }
+            :: acc
+          else acc)
+        t.last []
+      |> List.sort compare |> Array.of_list
+    in
+    if upto > sh.committed then begin
+      for slot = sh.committed to upto - 1 do
+        sh.ledger.flush_entry slot
+      done;
+      t.svc_fence "svc:ledger_fence";
+      sh.ledger.write_index upto;
+      sh.ledger.flush_index ();
+      t.svc_fence "svc:commit_fence";
+      sh.committed <- upto
+    end;
+    sh.ledger.write_ckpt upto pairs dedup;
+    (* commit point passed: the covered prefix is now garbage *)
+    t.truncated <- t.truncated + (upto - sh.base);
+    sh.ledger.drop_below upto;
+    sh.base <- upto;
+    t.ckpt_count <- t.ckpt_count + 1
+  end
+
+let next_boundary now interval = (((now / interval) + 1) * interval)
 
 (* ------------------------------------------------------------------ *)
 (* Worker / committer threads                                          *)
@@ -332,6 +478,7 @@ let process t shard_ix req =
     sh.ledger.append slot
       { e_client = req.client; e_seq = req.seq; e_op = req.op; e_res = res };
     sh.next_slot <- slot + 1;
+    mirror_apply sh req.op;
     Hashtbl.replace t.last req.client
       { d_seq = req.seq; d_res = res; d_shard = shard_ix; d_slot = slot };
     let it = { c_shard = shard_ix; c_slot = slot; c_req = req; c_res = res } in
@@ -342,12 +489,25 @@ let process t shard_ix req =
 let worker t shard_ix () =
   let m = Machine.get () in
   let sh = t.shards.(shard_ix) in
+  (* per-op mode: the worker owns its shard's index, so it also owns
+     its checkpoints; group mode leaves them to the committer *)
+  let maybe_ckpt () =
+    if t.ckpt_interval > 0 && t.mode = Per_op then begin
+      let now = Machine.now m in
+      if now >= sh.next_ckpt then begin
+        checkpoint_shard t shard_ix;
+        sh.next_ckpt <- next_boundary (Machine.now m) t.ckpt_interval
+      end
+    end
+  in
   let rec loop () =
     match Queue.take_opt sh.queue with
     | Some req ->
       process t shard_ix req;
+      maybe_ckpt ();
       loop ()
     | None ->
+      maybe_ckpt ();
       if not t.stop then begin
         Machine.sleep m t.poll_quantum;
         loop ()
@@ -362,16 +522,27 @@ let worker t shard_ix () =
    slices of one service on different domains commit at the same
    global boundaries, and the parallel runner release group acks at
    domain-count-independent times. The batch-size trigger of the
-   [Group] mode is subsumed: a larger interval is a larger batch. *)
+   [Group] mode is subsumed: a larger interval is a larger batch.
+
+   Checkpoints ride the same thread, after the boundary commit, so the
+   commit index never has two writers. A checkpoint's simulated cost
+   can push the committer past its next boundary (its acks then release
+   one interval later); keep the checkpoint interval comfortably above
+   the commit interval where ack-time determinism across domain counts
+   matters, or use per-op mode, where checkpoints are worker-local. *)
 let committer t () =
   let m = Machine.get () in
   let interval = t.commit_interval in
   let rec loop () =
     let now = Machine.now m in
-    Machine.sleep m ((((now / interval) + 1) * interval) - now);
+    Machine.sleep m (next_boundary now interval - now);
     let items = List.of_seq (Queue.to_seq t.pending) in
     Queue.clear t.pending;
     commit t items;
+    if t.ckpt_interval > 0 && Machine.now m >= t.next_ckpt then begin
+      Array.iteri (fun si _ -> checkpoint_shard t si) t.shards;
+      t.next_ckpt <- next_boundary (Machine.now m) t.ckpt_interval
+    end;
     if not (t.stop && Queue.is_empty t.pending) then loop ()
   in
   loop ()
@@ -381,6 +552,11 @@ let committer t () =
    queues are drained. *)
 let start t m =
   t.stop <- false;
+  if t.ckpt_interval > 0 then begin
+    let b = next_boundary (Machine.now m) t.ckpt_interval in
+    t.next_ckpt <- b;
+    Array.iter (fun (sh : shard) -> sh.next_ckpt <- b) t.shards
+  end;
   Array.iteri (fun i _ -> ignore (Machine.spawn m (worker t i))) t.shards;
   match t.mode with
   | Group _ -> ignore (Machine.spawn m (committer t))
@@ -393,27 +569,76 @@ let submit t req =
 (* Recovery                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let recover t =
+(* Merge one committed record into the dedup table. Later entries win
+   on equal (client, seq): a re-send can legitimately commit twice
+   (once per era), and the *last* committed slot is the one whose
+   result a post-crash re-send must be answered from. *)
+let merge_last t client (d : dedup) =
+  match Hashtbl.find_opt t.last client with
+  | Some d0 when d0.d_seq > d.d_seq -> ()
+  | _ -> Hashtbl.replace t.last client d
+
+(* Slice-wide recovery state reset; follow with [recover_shard] for
+   every shard (in any order — shards touch disjoint state except the
+   dedup table, whose merges commute across shards). *)
+let begin_recovery t =
   t.policy_recover ();
   t.stop <- false;
   Queue.clear t.pending;
-  Hashtbl.reset t.last;
+  Hashtbl.reset t.last
+
+(* Recover one shard: durable index -> truncate (retiring dropped
+   cells) -> restore the checkpoint snapshot -> replay the remaining
+   committed suffix. Restartable: a crash during recovery loses only
+   volatile state, and re-running retires only cells not already
+   dropped. *)
+let recover_shard t si =
+  let sh = t.shards.(si) in
+  sh.store.st_recover ();
+  Queue.clear sh.queue;
+  let idx = sh.ledger.read_index () in
+  sh.ledger.truncate idx;
+  sh.committed <- idx;
+  sh.next_slot <- idx;
+  Hashtbl.reset sh.mirror;
+  let base =
+    match sh.ledger.read_ckpt () with
+    | None ->
+      List.iter (fun (k, v) -> Hashtbl.replace sh.mirror k v) sh.preseed;
+      0
+    | Some (upto, pairs, dedup) ->
+      Array.iter (fun (k, v) -> Hashtbl.replace sh.mirror k v) pairs;
+      Array.iter
+        (fun kd ->
+          merge_last t kd.k_client
+            { d_seq = kd.k_seq; d_res = kd.k_res; d_shard = si;
+              d_slot = kd.k_slot })
+        dedup;
+      upto
+  in
+  sh.ledger.drop_below base;
+  sh.base <- base;
+  t.replayed <- t.replayed + (idx - base);
+  for slot = base to idx - 1 do
+    let e = sh.ledger.read_entry slot in
+    mirror_apply sh e.e_op;
+    merge_last t e.e_client
+      { d_seq = e.e_seq; d_res = e.e_res; d_shard = si; d_slot = slot }
+  done
+
+let recover t =
+  begin_recovery t;
+  Array.iteri (fun si _ -> recover_shard t si) t.shards
+
+(* Parallel recovery: the same work as {!recover}, but each shard's
+   pass runs as a simulated thread, so shards of one slice recover
+   concurrently, slices on different domains recover in parallel, and
+   recovery's reads consume measurable virtual time. Drive the machine
+   to completion (or the next crash) afterwards. *)
+let spawn_recovery t m =
+  begin_recovery t;
   Array.iteri
-    (fun si sh ->
-      sh.store.st_recover ();
-      Queue.clear sh.queue;
-      let idx = sh.ledger.read_index () in
-      sh.ledger.truncate idx;
-      sh.committed <- idx;
-      sh.next_slot <- idx;
-      for slot = 0 to idx - 1 do
-        let e = sh.ledger.read_entry slot in
-        match Hashtbl.find_opt t.last e.e_client with
-        | Some d when d.d_seq >= e.e_seq -> ()
-        | _ ->
-          Hashtbl.replace t.last e.e_client
-            { d_seq = e.e_seq; d_res = e.e_res; d_shard = si; d_slot = slot }
-      done)
+    (fun si _ -> ignore (Machine.spawn m (fun () -> recover_shard t si)))
     t.shards
 
 (* ------------------------------------------------------------------ *)
@@ -428,11 +653,53 @@ let contents t =
 let check_invariants t =
   Array.iter (fun sh -> sh.store.st_check ()) t.shards
 
-(* The committed log of each shard, in log order. *)
+(* The retained committed log of each shard — the suffix starting at
+   the shard's checkpoint base — in log order. *)
 let committed_log t =
   Array.map
-    (fun sh -> List.init sh.committed sh.ledger.read_entry)
+    (fun sh ->
+      List.init (sh.committed - sh.base) (fun i ->
+          sh.ledger.read_entry (sh.base + i)))
     t.shards
 
 let committed_total t =
   Array.fold_left (fun acc sh -> acc + sh.committed) 0 t.shards
+
+let checkpoints_taken t = t.ckpt_count
+let truncated_slots t = t.truncated
+let replayed_slots t = t.replayed
+
+let checkpoint_state t =
+  Array.map
+    (fun sh ->
+      match sh.ledger.read_ckpt () with
+      | None -> (0, [], [])
+      | Some (upto, pairs, dedup) ->
+        ( upto,
+          Array.to_list pairs,
+          Array.to_list dedup
+          |> List.map (fun kd -> (kd.k_client, kd.k_seq)) ))
+    t.shards
+
+(* Test hook: forge committed ledger entries (setup mode), durably, as
+   if they had been applied and committed — including duplicates the
+   normal path would dedup away. The store and the acknowledgement
+   hooks are bypassed; the mirror tracks the forged entries so later
+   checkpoints stay consistent. *)
+let inject_committed t entries =
+  List.iter
+    (fun e ->
+      let si = shard_of t (key_of_op e.e_op) in
+      let sh = t.shards.(si) in
+      let slot = sh.next_slot in
+      sh.ledger.append slot e;
+      sh.ledger.flush_entry slot;
+      sh.next_slot <- slot + 1;
+      mirror_apply sh e.e_op;
+      sh.ledger.write_index sh.next_slot;
+      sh.ledger.flush_index ();
+      sh.committed <- sh.next_slot;
+      merge_last t e.e_client
+        { d_seq = e.e_seq; d_res = e.e_res; d_shard = si; d_slot = slot })
+    entries;
+  t.svc_fence "svc:commit_fence"

@@ -6,11 +6,17 @@
     per-shard redo log (written through the same policy's memory) is
     committed by a flush/fence/index/flush/fence protocol — either per
     operation, or batched under a single pair of fences by a dedicated
-    committer thread (group persistence). Recovery truncates each log
-    to its durable commit index and rebuilds the per-client
-    deduplication table from the committed records, so re-sent
-    acknowledged requests are answered from the ledger without being
-    re-applied. *)
+    committer thread (group persistence). With [?checkpoint] set, the
+    thread owning each shard's commit index periodically snapshots the
+    shard's committed state through {!Checkpoint} (the [svc:ckpt_] sites)
+    and drops the covered log prefix, retiring its cells. Recovery
+    truncates each log to its durable commit index, restores the
+    checkpoint snapshot, and rebuilds the per-client deduplication
+    table from the remaining committed suffix (last committed entry
+    wins on equal (client, seq)), so re-sent acknowledged requests are
+    answered from the ledger without being re-applied; recovery cost is
+    O(delta since the last checkpoint), and {!spawn_recovery} runs it
+    as parallel simulated threads. *)
 
 type op = Put of int * int | Del of int | Get of int
 
@@ -54,6 +60,7 @@ val create :
   ?poll_quantum:int ->
   ?slice:int * int ->
   ?commit_interval:int ->
+  ?checkpoint:int ->
   structure:(module Nvt_harness.Instances.STRUCTURE) ->
   flavour:Nvt_harness.Instances.flavour ->
   shards:int ->
@@ -74,7 +81,14 @@ val create :
     commit boundary (default: the mode's [timeout]); the parallel
     runner passes the interval rounded up to a whole number of merge
     epochs so acknowledgement release times quantize identically for
-    every domain count. *)
+    every domain count.
+
+    [checkpoint] is the virtual-time checkpoint interval (default 0:
+    checkpointing disabled, reproducing the pre-checkpoint service
+    exactly). In per-op mode each worker checkpoints its own shard at
+    the interval; in group mode the committer checkpoints every local
+    shard after a boundary commit — in both cases on the thread that
+    owns the commit index. *)
 
 val prefill : t -> int list -> unit
 (** Load keys (value = key) directly into the shard stores, bypassing
@@ -94,7 +108,16 @@ val request_stop : t -> unit
 val recover : t -> unit
 (** After {!Nvt_sim.Machine.run} returned [Crashed_at]: run the
     policy's and every shard store's recovery, truncate each ledger to
-    its durable commit index, rebuild the deduplication table. *)
+    its durable commit index (retiring the dropped cells), restore the
+    checkpoint snapshot, rebuild the deduplication table from the
+    remaining committed suffix. Sequential, in setup mode. *)
+
+val spawn_recovery : t -> Nvt_sim.Machine.t -> unit
+(** The same recovery, but each shard's pass spawned as a simulated
+    thread: shards recover concurrently and the reads consume virtual
+    time. Drive the machine (e.g. {!Nvt_sim.Machine.advance_to}) until
+    it completes — or crashes, in which case calling [spawn_recovery]
+    again restarts recovery from the durable state. *)
 
 val set_on_apply : t -> (request -> result -> unit) -> unit
 (** Called on the worker after a request was applied to a shard store
@@ -122,6 +145,35 @@ val contents : t -> (int * int) list
 val check_invariants : t -> unit
 
 val committed_log : t -> entry list array
-(** Per shard, the committed records in log order. *)
+(** Per shard, the {e retained} committed records in log order: the
+    suffix from the shard's checkpoint base (slot 0 when no checkpoint
+    committed) to its commit index. *)
 
 val committed_total : t -> int
+(** Sum of the shards' commit indices (absolute: includes slots whose
+    cells a checkpoint has since truncated away). *)
+
+val checkpoints_taken : t -> int
+(** Checkpoints durably committed by this instance since creation. *)
+
+val truncated_slots : t -> int
+(** Log slots dropped (and their cells retired) by checkpoints. *)
+
+val replayed_slots : t -> int
+(** Committed log entries replayed by this instance's recovery passes
+    since creation — the recovery bench's measure of recovery work:
+    with checkpointing on it is bounded by the delta since the last
+    checkpoint, without it each pass replays the whole committed
+    log. *)
+
+val checkpoint_state : t -> (int * (int * int) list * (int * int) list) array
+(** Per local shard, the durably committed checkpoint:
+    [(base, pairs, covered)] where [base] is the first retained log
+    slot ([0] if no checkpoint committed), [pairs] the snapshot's
+    (key, value) store contents and [covered] its (client, seq) dedup
+    records. The runner's oracle seeds its replay model from this. *)
+
+val inject_committed : t -> entry list -> unit
+(** Test hook (setup mode): forge entries into the committed log —
+    applied to nothing, acknowledged to nobody, but durable — including
+    duplicate (client, seq) records the normal path would dedup. *)

@@ -11,6 +11,7 @@ Each FILE is a JSON artifact produced by `bench/main.exe` or
     nvtraverse-selfperf/1  bench selfperf --json (legacy, pre-domains)
     nvtraverse-selfperf/2  bench selfperf --json (BENCH_selfperf.json)
     nvtraverse-service/1   bench service --json  (BENCH_service.json)
+    nvtraverse-recovery/1  bench recovery-service --json (BENCH_recovery.json)
     nvtraverse-mutation/1  nvtsim mutate         (MUTATION_report.json)
 
 Validators assert structural invariants only (series present, sums
@@ -153,9 +154,74 @@ def validate_service(svc):
     )
 
 
+# -------------------------------------------------------------- recovery
+
+
+def validate_recovery(rec):
+    rows = rec["rows"]
+    require(rows, "no rows in the recovery bench")
+    cells = {}
+    for r in rows:
+        key = (r["requests"], r["domains"], r["checkpoint_interval"])
+        require(key not in cells, f"duplicate cell {key}")
+        cells[key] = r
+        require(r["violations"] == [], f"{key}: {r['violations']}")
+        require(r["crashes_fired"] == 1, f"{key}: {r['crashes_fired']} crashes")
+        require(r["acked"] == r["requests"], f"{key}: acked {r['acked']}")
+        require(r["committed"] >= r["requests"], f"{key}: commit shortfall")
+        for k in ("replayed", "recovery_steps", "recovery_time", "truncated"):
+            require(r[k] >= 0, f"{key}: negative {k}")
+        if r["checkpoint_interval"] == 0:
+            require(r["checkpoints"] == 0, f"{key}: baseline took checkpoints")
+            require(r["truncated"] == 0, f"{key}: baseline truncated the log")
+        else:
+            require(r["checkpoints"] > 0, f"{key}: no checkpoints committed")
+
+    sizes = sorted({n for n, _, _ in cells})
+    n_min, n_max = sizes[0], sizes[-1]
+    checkpointed = [k for k in cells if k[2] > 0]
+    require(checkpointed, "no checkpointed cells in the sweep")
+    for n, d, i in checkpointed:
+        base = cells.get((n, d, 0))
+        require(base is not None, f"({n},{d}): no full-replay baseline row")
+        require(
+            cells[(n, d, i)]["replayed"] <= base["replayed"],
+            f"({n},{d},{i}): replayed {cells[(n, d, i)]['replayed']} "
+            f"exceeds baseline {base['replayed']}",
+        )
+        if n == n_max:
+            # the flatness claim's load-bearing edge: at the longest
+            # log, checkpointed replay must be well under full replay
+            require(
+                cells[(n, d, i)]["replayed"] * 2 <= base["replayed"],
+                f"({n},{d},{i}): replay {cells[(n, d, i)]['replayed']} is "
+                f"not under half the baseline {base['replayed']} — "
+                f"recovery is not flat in log length",
+            )
+    for d in sorted({d for _, d, _ in cells}):
+        small, big = cells.get((n_min, d, 0)), cells.get((n_max, d, 0))
+        require(
+            small and big and big["replayed"] > small["replayed"],
+            f"domains={d}: full-replay baseline does not grow with the log",
+        )
+    require(rec["gate_ok"] is True, "bench recorded gate_ok=false")
+    return (
+        f"{len(rows)} cells over requests {sizes}, "
+        f"max-log replay {cells[(n_max, 1, 0)]['replayed']} (full) vs "
+        + str(
+            [
+                cells[(n_max, 1, i)]["replayed"]
+                for (n, d, i) in sorted(checkpointed)
+                if n == n_max and d == 1
+            ]
+        )
+        + " (checkpointed)"
+    )
+
+
 # -------------------------------------------------------------- mutation
 
-ATTACK_KINDS = {"crash", "stall", "evict", "window"}
+ATTACK_KINDS = {"crash", "stall", "evict", "window", "svc-crash"}
 
 
 def validate_mutation(rep):
@@ -251,6 +317,7 @@ VALIDATORS = {
     "nvtraverse-selfperf/1": validate_selfperf,
     "nvtraverse-selfperf/2": validate_selfperf2,
     "nvtraverse-service/1": validate_service,
+    "nvtraverse-recovery/1": validate_recovery,
     "nvtraverse-mutation/1": validate_mutation,
 }
 
