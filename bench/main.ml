@@ -87,6 +87,27 @@ let service_cmd =
        ~doc:"Sharded durable service: group vs per-op acknowledgement")
     Term.(const run_service $ quick $ seed $ json)
 
+let mutation_report =
+  Arg.(
+    value
+    & opt string "MUTATION_report.json"
+    & info [ "report" ] ~docv:"FILE"
+        ~doc:"Committed nvtraverse-mutation/2 report the optimizer's \
+              elision plans are derived from.")
+
+let run_optimizer quick seed json report =
+  Optimizer_bench.run
+    ?json_path:(if json then Some "BENCH_optimizer.json" else None)
+    ~quick ~seed ~report_path:report ()
+
+let optimizer_cmd =
+  Cmd.v
+    (Cmd.info "optimizer"
+       ~doc:"Persistence optimizer: flushes/fences per op before vs \
+             after coalescing, deferral and proof-gated elision, with \
+             bit-identical operation histories")
+    Term.(const run_optimizer $ quick $ seed $ json $ mutation_report)
+
 let run_recovery_svc quick seed json =
   Recovery_svc.run
     ?json_path:(if json then Some "BENCH_recovery.json" else None)
@@ -117,4 +138,5 @@ let () =
             native_cmd;
             selfperf_cmd;
             service_cmd;
-            recovery_svc_cmd ]))
+            recovery_svc_cmd;
+            optimizer_cmd ]))

@@ -92,6 +92,52 @@ let trace_cap =
         ~doc:"Record the last $(docv) machine events (writes, flushes, \
               fences, evictions, crashes) and print them in the report.")
 
+let optimize_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "MUTATION_report.json") (some string) None
+    & info [ "optimize" ] ~docv:"REPORT"
+        ~doc:
+          "Run under the proof-gated persistence optimizer: derive each \
+           structure x policy elision plan from $(docv) (a committed \
+           nvtraverse-mutation/2 report; plain $(b,--optimize) reads \
+           $(b,MUTATION_report.json)) and enable deferred boundary \
+           persistence. Only sites the report marks candidate-redundant \
+           are ever elided.")
+
+(* CLI-friendly wrappers: a missing, malformed or stale-schema report
+   is a usage error (exit 2), not a crash. *)
+let load_report path =
+  match H.Json.parse_file path with
+  | j -> j
+  | exception Sys_error msg ->
+    Printf.eprintf "cannot read report: %s\n" msg;
+    exit 2
+  | exception H.Json.Parse_error msg ->
+    Printf.eprintf "cannot parse %s: %s\n" path msg;
+    exit 2
+
+let plan_for j ~structure ~policy =
+  match H.Mutlab.plan_of_report j ~structure ~policy with
+  | p -> p
+  | exception H.Json.Parse_error msg ->
+    Printf.eprintf "%s\n" msg;
+    exit 2
+
+let pp_plan structure policy (p : Nvt_nvm.Optimizer.plan) =
+  Printf.printf "optimizer:  plan for %s/%s: defer on%s\n" structure policy
+    (match p.Nvt_nvm.Optimizer.elide with
+    | [] -> ", nothing elided"
+    | sites -> ", eliding " ^ String.concat ", " sites)
+
+let pp_savings () =
+  let s = Nvt_nvm.Optimizer.counters () in
+  Printf.printf
+    "optimizer:  %d flushes coalesced, %d deferred, %d elided; %d fences \
+     elided\n"
+    s.Nvt_nvm.Optimizer.coalesced_flushes s.deferred_flushes s.elided_flushes
+    s.elided_fences
+
 let report s_name p_name (r : H.Crashlab.report) =
   Printf.printf "structure:  %s (%s)\n" s_name p_name;
   Printf.printf "operations: %d across %d era(s)\n" r.history_length r.eras;
@@ -134,7 +180,7 @@ let report s_name p_name (r : H.Crashlab.report) =
     false
 
 let run s_name p_name threads ops range seed updates eviction stall crashes
-    dram trace_cap =
+    dram trace_cap optimize =
   let variants = List.assoc s_name structures in
   let chosen =
     if p_name = "all" then
@@ -176,9 +222,28 @@ let run s_name p_name threads ops range seed updates eviction stall crashes
       crash_steps = crashes;
       trace_capacity = trace_cap }
   in
+  let opt_report = Option.map load_report optimize in
   let verdicts =
     List.map
       (fun (p_name, set) ->
+        (* the crash lab's machine is created on this domain, so it
+           captures the ambient optimizer context — install the plan
+           there for the duration of the run and report the savings *)
+        let with_plan fn =
+          match opt_report with
+          | None -> fn ()
+          | Some j ->
+            let plan = plan_for j ~structure:s_name ~policy:p_name in
+            pp_plan s_name p_name plan;
+            Nvt_nvm.Optimizer.set (Some plan);
+            Fun.protect
+              ~finally:(fun () -> Nvt_nvm.Optimizer.set None)
+              (fun () ->
+                let v = fn () in
+                pp_savings ();
+                v)
+        in
+        with_plan @@ fun () ->
         match H.Crashlab.run set c with
         | r -> report s_name p_name r
         | exception Nvt_sim.Machine.Corrupt_read cid ->
@@ -243,9 +308,9 @@ let mut_out =
     value
     & opt string "MUTATION_report.json"
     & info [ "out"; "o" ] ~docv:"FILE"
-        ~doc:"Where to write the nvtraverse-mutation/1 report.")
+        ~doc:"Where to write the nvtraverse-mutation/2 report.")
 
-let mutate quick deep structures policies domains out =
+let mutate quick deep structures policies domains out optimize =
   if quick && deep then begin
     prerr_endline "--quick and --deep are mutually exclusive";
     exit 2
@@ -268,7 +333,20 @@ let mutate quick deep structures policies domains out =
         exit 2
       end)
     policies;
-  let r = Mutlab.run ~structures ~policies ~domains sc in
+  let optimize =
+    Option.map
+      (fun path ->
+        let j = load_report path in
+        (* fail fast on a stale schema rather than mid-battery *)
+        (match Mutlab.report_candidates j with
+        | _ -> ()
+        | exception H.Json.Parse_error msg ->
+          prerr_endline msg;
+          exit 2);
+        j)
+      optimize
+  in
+  let r = Mutlab.run ~structures ~policies ~domains ?optimize sc in
   (* the service-site battery rides along only when no -s filter was
      given: -s selects structure batteries, and the multicore smoke
      byte-compares filtered runs across domain counts *)
@@ -276,7 +354,7 @@ let mutate quick deep structures policies domains out =
     if structures = [] then
       { r with
         Mutlab.flavours =
-          r.flavours @ Nvt_service.Svclab.run ~policies sc }
+          r.flavours @ Nvt_service.Svclab.run ~policies ?optimize sc }
     else r
   in
   Format.printf "%a" Mutlab.pp_report r;
@@ -355,6 +433,28 @@ let ckpt =
               checkpointing. Recovery then replays only the delta since \
               the last checkpoint.")
 
+let multi_pct =
+  Arg.(
+    value & opt int 0
+    & info [ "multi" ] ~docv:"PCT"
+        ~doc:"Issue $(docv)% of requests as durable multi-puts: $(b,k) \
+              same-shard keys applied and acknowledged atomically as one \
+              ledger record under a single pair of commit fences.")
+
+let multi_k =
+  Arg.(
+    value & opt int 4
+    & info [ "multi-k" ] ~docv:"K"
+        ~doc:"Keys per multi-put (capped at the shard's key pool).")
+
+let rmw_pct =
+  Arg.(
+    value & opt int 0
+    & info [ "rmw" ] ~docv:"PCT"
+        ~doc:"Issue $(docv)% of requests as read-modify-writes (add a \
+              delta to the key's current value, returning the old one) — \
+              one request, one ledger record, one commit.")
+
 let recovery_crashes =
   Arg.(
     value & opt_all int []
@@ -364,13 +464,24 @@ let recovery_crashes =
               which then restarts — the double-crash scenario).")
 
 let serve s_name p_name shards clients requests gap skew updates range seed
-    batch timeout crashes eviction dram domains ckpt recovery_crashes =
+    batch timeout crashes eviction dram domains ckpt recovery_crashes
+    multi_pct multi_k rmw_pct optimize =
   (match I.flavour p_name with
   | Some _ -> ()
   | None ->
     Printf.eprintf "unknown policy %s (available: %s)\n" p_name
       (String.concat ", " (List.map (fun (f : I.flavour) -> f.key) I.flavours));
     exit 2);
+  let plan =
+    Option.map
+      (fun path ->
+        let p =
+          plan_for (load_report path) ~structure:s_name ~policy:p_name
+        in
+        pp_plan s_name p_name p;
+        p)
+      optimize
+  in
   let cfg =
     { Runner.default_config with
       structure = s_name;
@@ -394,7 +505,11 @@ let serve s_name p_name shards clients requests gap skew updates range seed
          else Nvt_sim.Machine.No_eviction);
       domains;
       checkpoint_interval = ckpt;
-      recovery_crashes }
+      recovery_crashes;
+      plan;
+      multi_pct;
+      multi_k;
+      rmw_pct }
   in
   match Runner.run cfg with
   | r ->
@@ -414,7 +529,7 @@ let () =
   let run_term =
     Term.(
       const run $ structure $ policy $ threads $ ops $ range $ seed $ updates
-      $ eviction $ stall $ crashes $ dram $ trace_cap)
+      $ eviction $ stall $ crashes $ dram $ trace_cap $ optimize_arg)
   in
   let run_cmd =
     Cmd.v
@@ -431,7 +546,7 @@ let () =
                as candidate-redundant")
       Term.(
         const mutate $ quick_flag $ deep_flag $ mut_structures $ mut_policies
-        $ mut_domains $ mut_out)
+        $ mut_domains $ mut_out $ optimize_arg)
   in
   let serve_cmd =
     Cmd.v
@@ -441,7 +556,8 @@ let () =
       Term.(
         const serve $ svc_structure $ svc_policy $ shards $ clients $ requests
         $ gap $ skew $ updates $ range $ seed $ batch $ batch_timeout
-        $ crashes $ eviction $ dram $ svc_domains $ ckpt $ recovery_crashes)
+        $ crashes $ eviction $ dram $ svc_domains $ ckpt $ recovery_crashes
+        $ multi_pct $ multi_k $ rmw_pct $ optimize_arg)
   in
   exit
     (Cmd.eval

@@ -81,7 +81,10 @@ let quick =
     evict_points = 8;
     window_s0 = 40;
     window_seeds = 2;
-    structures = [ "list"; "bst-nm" ];
+    (* hash rides the quick battery because it is an optimizer elision
+       target: its candidate-redundant verdicts (bucket-head mutual
+       coverage) must stay committed, re-proven per push *)
+    structures = [ "list"; "bst-nm"; "hash" ];
     service = [ ("hash", "nvt") ] }
 
 let deep =
@@ -429,13 +432,6 @@ let expected_unkilled : (string * string option * string * string) list =
        'above' edges it adds are conservative." );
     ( "nvt",
       Some "hash",
-      "nvt:ensure_reachable",
-      "a hash bucket's traversal is a single edge at the paper's \
-       low-contention bucket sizing (about one key per bucket), so the \
-       reach edge and the persist set are the same bucket-head word: \
-       either of ensureReachable/makePersistent alone covers it." );
-    ( "nvt",
-      Some "hash",
       "nvt:make_persistent",
       "mutual coverage with nvt:ensure_reachable on depth-1 \
        traversals: both sites flush the same bucket-head word, and \
@@ -467,6 +463,77 @@ let expectation ~policy ~structure ~site =
         Some reason
       else None)
     expected_unkilled
+
+(* Candidate-redundancy that is MUTUAL: each listed site is redundant
+   only while the others still execute (the hash bucket-head entries
+   above literally say "either alone covers it"), so an elision plan
+   may skip at most one member per group — the earliest listed one
+   still in the candidate set. Single-site suppression can never see
+   this (it removes one site at a time by construction); the optimizer
+   can, which is why the groups are machine-readable here and applied
+   by {!elisions_of_report}. *)
+let mutual_cover_groups : (string * string option * string list) list =
+  [ ("nvt", Some "hash", [ "nvt:ensure_reachable"; "nvt:make_persistent" ]);
+    (* Under link-and-persist the hash's make_persistent flush is
+       redundant only while the critical/return fences still order it
+       against the reader-drain protocol — the optimizer-enabled
+       battery kills the triple elision (a crashed delete resurrects
+       its key) even though each site is unkilled alone. The fences
+       are listed first: they are the cheaper sites to keep eliding
+       (a fence costs several flushes in every cost model), so the
+       group keeps their elision and drops make_persistent's. *)
+    ( "lp",
+      Some "hash",
+      [ "nvt:crit_fence"; "nvt:make_persistent" ] );
+    ( "lp",
+      Some "hash",
+      [ "nvt:return_fence"; "nvt:make_persistent" ] ) ]
+
+(* ------------------------------------------------------------------ *)
+(* Elision plans from a committed report                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The optimizer's elision lists are DERIVED from a committed
+   [MUTATION_report.json], never hand-written: the machine-readable
+   [candidate_redundant] array (schema /2) is the single source, and
+   the mutual-cover rule above drops all but the first member of any
+   group whose sites would otherwise be elided together. *)
+
+let schema_name = "nvtraverse-mutation/2"
+
+let report_candidates (j : Json.t) : (string * string * string) list =
+  let schema = Json.to_string_exn (Json.member "schema" j) in
+  if schema <> schema_name then
+    raise
+      (Json.Parse_error
+         (Printf.sprintf
+            "mutation report schema %s does not carry machine-readable \
+             candidate-redundant verdicts (need %s); regenerate with nvtsim \
+             mutate"
+            schema schema_name));
+  Json.to_list (Json.member "candidate_redundant" j)
+  |> List.map (fun e ->
+         ( Json.to_string_exn (Json.member "structure" e),
+           Json.to_string_exn (Json.member "policy" e),
+           Json.to_string_exn (Json.member "site" e) ))
+
+let elisions_of_report (j : Json.t) ~structure ~policy : string list =
+  let sites =
+    report_candidates j
+    |> List.filter_map (fun (s, p, site) ->
+           if s = structure && p = policy then Some site else None)
+  in
+  List.fold_left
+    (fun sites (p, st, group) ->
+      if p = policy && (st = None || st = Some structure) then
+        match List.filter (fun g -> List.mem g sites) group with
+        | [] | [ _ ] -> sites
+        | _keep :: drop -> List.filter (fun s -> not (List.mem s drop)) sites
+      else sites)
+    sites mutual_cover_groups
+
+let plan_of_report (j : Json.t) ~structure ~policy : Nvt_nvm.Optimizer.plan =
+  { defer = true; elide = elisions_of_report j ~structure ~policy }
 
 (* Mutable sites of a flavour: every named site of the probe's
    attribution table that issued at least one flush or fence. CAS-only
@@ -518,13 +585,36 @@ type flavour_report = {
   control_failure : (attack * string) option;
       (* the INTACT flavour losing the battery: a broken harness *)
   sites : site_report list;
+  elided : string list;
+      (* the optimizer plan this battery ran under ([] = unoptimized);
+         when non-empty, the control row is the substantive durability
+         proof of the optimized configuration — a single-site mutant of
+         an already-elided site is indistinguishable from the optimized
+         baseline, so its own verdict row carries no information *)
 }
 
-type report = { scale_name : string; flavours : flavour_report list }
+type report = {
+  scale_name : string;
+  optimized : bool;
+  flavours : flavour_report list;
+}
 
-let run_flavour (sc : scale) ~structure (f : I.flavour) (module S : SET) :
-    flavour_report =
+let run_flavour (sc : scale) ~structure ?plan (f : I.flavour) (module S : SET)
+    : flavour_report =
   let (module Pol : I.POLICY) = f.policy in
+  let elided =
+    match (plan : Nvt_nvm.Optimizer.plan option) with
+    | Some p when Pol.durable -> p.elide
+    | _ -> []
+  in
+  let with_plan fn =
+    match plan with
+    | None -> fn ()
+    | Some p ->
+      Nvt_nvm.Optimizer.set (Some p);
+      Fun.protect ~finally:(fun () -> Nvt_nvm.Optimizer.set None) fn
+  in
+  with_plan @@ fun () ->
   let probe_steps, probe_stats =
     match
       adversarial
@@ -544,7 +634,8 @@ let run_flavour (sc : scale) ~structure (f : I.flavour) (module S : SET) :
       probe_stats;
       control_runs = 0;
       control_failure = None;
-      sites = [] }
+      sites = [];
+      elided }
   else begin
     let control_failure, control_runs = sweep (module S) sc in
     let site_counts = Stats.sites probe_stats in
@@ -567,7 +658,8 @@ let run_flavour (sc : scale) ~structure (f : I.flavour) (module S : SET) :
       probe_stats;
       control_runs;
       control_failure;
-      sites }
+      sites;
+      elided }
   end
 
 (* The (structure, flavour) batteries are independent — every attack
@@ -577,8 +669,8 @@ let run_flavour (sc : scale) ~structure (f : I.flavour) (module S : SET) :
    belong to the worker's machines. The report (and its JSON) is
    index-ordered and carries no domain count, so a [domains = n] run
    is byte-identical to the sequential one. *)
-let run ?(structures = []) ?(policies = []) ?(domains = 1) (sc : scale) :
-    report =
+let run ?(structures = []) ?(policies = []) ?(domains = 1) ?optimize
+    (sc : scale) : report =
   let structures = if structures = [] then sc.structures else structures in
   let items =
     List.concat_map
@@ -601,8 +693,14 @@ let run ?(structures = []) ?(policies = []) ?(domains = 1) (sc : scale) :
   let results = Array.make n None in
   let work i =
     let s_name, str, (f : I.flavour) = items.(i) in
+    let plan =
+      Option.map
+        (fun j -> plan_of_report j ~structure:s_name ~policy:f.key)
+        optimize
+    in
     results.(i) <-
-      Some (run_flavour sc ~structure:s_name f (I.instantiate str f.policy))
+      Some
+        (run_flavour sc ~structure:s_name ?plan f (I.instantiate str f.policy))
   in
   let domains = max 1 (min domains n) in
   if domains = 1 then
@@ -625,7 +723,7 @@ let run ?(structures = []) ?(policies = []) ?(domains = 1) (sc : scale) :
     Array.to_list results
     |> List.map (function Some r -> r | None -> assert false)
   in
-  { scale_name = sc.scale_name; flavours }
+  { scale_name = sc.scale_name; optimized = optimize <> None; flavours }
 
 (* ------------------------------------------------------------------ *)
 (* Gate                                                                *)
@@ -677,8 +775,26 @@ let gate_ok (g : gate) =
   g.unexpected_unkilled = [] && g.control_failures = []
 
 (* ------------------------------------------------------------------ *)
-(* JSON (nvtraverse-mutation/1)                                        *)
+(* JSON (nvtraverse-mutation/2)                                        *)
 (* ------------------------------------------------------------------ *)
+
+(* Every Unkilled verdict, machine-readable: the source the optimizer
+   derives elision plans from (schema /2's [candidate_redundant]
+   array). Until /2 this information existed only as a display suffix
+   in {!pp_report}, so elision lists would have had to be hand-copied
+   — exactly the drift the proof-gating is meant to prevent. *)
+let candidate_redundant (r : report) :
+    (string * string * string * string option) list =
+  List.concat_map
+    (fun (fr : flavour_report) ->
+      List.filter_map
+        (fun (sr : site_report) ->
+          match sr.verdict with
+          | Unkilled { expected } ->
+            Some (fr.structure, fr.policy, sr.site, expected)
+          | Necessary _ -> None)
+        fr.sites)
+    r.flavours
 
 let attack_to_json (a : attack) : Json.t =
   match a with
@@ -742,8 +858,23 @@ let to_json (r : report) : Json.t =
                ("detail", Json.Str c) ]
   in
   Obj
-    [ ("schema", Str "nvtraverse-mutation/1");
+    [ ("schema", Str schema_name);
       ("scale", Str r.scale_name);
+      ("optimized", Bool r.optimized);
+      ( "candidate_redundant",
+        List
+          (List.map
+             (fun (structure, policy, site, expected) ->
+               Obj
+                 ([ ("structure", Str structure);
+                    ("policy", Str policy);
+                    ("site", Str site);
+                    ("expected", Bool (expected <> None)) ]
+                 @
+                 match expected with
+                 | Some reason -> [ ("reason", Str reason) ]
+                 | None -> []))
+             (candidate_redundant r)) );
       ( "gate",
         Obj
           [ ("ok", Bool (gate_ok g));
@@ -773,6 +904,7 @@ let to_json (r : report) : Json.t =
                              (match fr.control_failure with
                              | Some _ -> 1
                              | None -> 0) ) ] );
+                   ("elided", List (List.map (fun s -> Str s) fr.elided));
                    ("sites", List (List.map site_to_json fr.sites)) ])
              r.flavours) ) ]
 
@@ -787,6 +919,9 @@ let pp_report ppf (r : report) =
         fr.policy
         (if fr.durable then "durable" else "not durable")
         fr.probe_steps;
+      if fr.elided <> [] then
+        Format.fprintf ppf "  optimizer: defer on, elided %s@."
+          (String.concat ", " fr.elided);
       (match fr.control_failure with
       | Some (a, d) ->
         Format.fprintf ppf "  CONTROL FAILURE after %a: %s@." pp_attack a d

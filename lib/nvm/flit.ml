@@ -43,11 +43,13 @@ module Make (M : Memory.S) :
      harness removes one site at a time); the counter CASes never do —
      they are the algorithm's synchronization, not persistence. *)
   let persist site l =
-    if not (Suppress.flush_killed site) then begin
+    if not (Suppress.flush_killed site || Optimizer.flush_elided site)
+    then begin
       Stats.set_site site;
       M.flush l
     end;
-    if not (Suppress.fence_killed site) then begin
+    if not (Suppress.fence_killed site || Optimizer.fence_elided site)
+    then begin
       Stats.set_site site;
       M.fence ()
     end

@@ -20,11 +20,13 @@ module Make (M : Memory.S) : Memory.S with type 'a loc = 'a M.loc =
          Both halves of the pair honour per-site suppression so the
          mutation harness can remove an access class wholesale. *)
       let persist site l =
-        if not (Suppress.flush_killed site) then begin
+        if not (Suppress.flush_killed site || Optimizer.flush_elided site)
+        then begin
           Stats.set_site site;
           M.flush l
         end;
-        if not (Suppress.fence_killed site) then begin
+        if not (Suppress.fence_killed site || Optimizer.fence_elided site)
+        then begin
           Stats.set_site site;
           M.fence ()
         end

@@ -48,11 +48,15 @@ module Make (M : Memory.S) :
          algorithm, and a mutated flush that still marks the word clean
          is exactly the dangerous variant the mutation harness wants:
          every later flush of the word is then skipped as "clean". *)
-      if not (Suppress.flush_killed "lp:flush") then begin
+      if
+        not (Suppress.flush_killed "lp:flush" || Optimizer.flush_elided "lp:flush")
+      then begin
         Stats.set_site "lp:flush";
         M.flush l
       end;
-      if not (Suppress.fence_killed "lp:drain") then begin
+      if
+        not (Suppress.fence_killed "lp:drain" || Optimizer.fence_elided "lp:drain")
+      then begin
         Stats.set_site "lp:drain";
         M.fence ()
       end;

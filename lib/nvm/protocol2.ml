@@ -30,13 +30,19 @@ module Make (M : Memory.S) (P : Persist.Make(M).S) :
       let tag site = if P.enabled then Stats.set_site site
 
       let flush_at site l =
-        if (not P.enabled) || not (Suppress.flush_killed site) then begin
+        if
+          (not P.enabled)
+          || not (Suppress.flush_killed site || Optimizer.flush_elided site)
+        then begin
           tag site;
           P.flush l
         end
 
       let fence_at site =
-        if (not P.enabled) || not (Suppress.fence_killed site) then begin
+        if
+          (not P.enabled)
+          || not (Suppress.fence_killed site || Optimizer.fence_elided site)
+        then begin
           tag site;
           P.fence ()
         end

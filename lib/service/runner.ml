@@ -92,6 +92,13 @@ type config = {
   checkpoint_interval : int;  (* 0: no checkpoints *)
   recovery_crashes : int list;  (* step thresholds of crashes fired
                                    *during* recovery (double-crash) *)
+  plan : Nvt_nvm.Optimizer.plan option;
+      (* optimizer plan installed on every machine; [None] inherits the
+         calling domain's ambient plan, so a harness that wraps [run]
+         in {!Nvt_nvm.Optimizer.set} still reaches worker machines *)
+  multi_pct : int;  (* % of requests issued as same-shard multi-puts *)
+  multi_k : int;  (* keys per multi-put (capped at the shard's pool) *)
+  rmw_pct : int;  (* % of requests issued as read-modify-writes *)
 }
 
 let default_config =
@@ -114,7 +121,11 @@ let default_config =
     domains = 1;
     merge_epoch = 500;
     checkpoint_interval = 0;
-    recovery_crashes = [] }
+    recovery_crashes = [];
+    plan = None;
+    multi_pct = 0;
+    multi_k = 4;
+    rmw_pct = 0 }
 
 type latency = { p50 : int; p95 : int; p99 : int; lmax : int; mean : float }
 
@@ -123,6 +134,8 @@ type report = {
   acked : int;
   applies : int;  (* store applications, including crash re-sends *)
   resent : int;
+  multi_puts : int;  (* requests issued as same-shard multi-puts *)
+  rmws : int;  (* requests issued as read-modify-writes *)
   dedup_acks : int;  (* re-sends answered from the ledger *)
   audit_acks : int;
   crashes_requested : int;
@@ -165,6 +178,9 @@ type rec_ = {
   mutable r_acks : int;
   mutable r_ack_res : Service.result option;
   mutable r_applies : int;
+  mutable r_pos : (int * int) option;
+      (* (global shard, slot) of the service's commit claim — where the
+         durable-commit audit holds the ledger against the ack *)
 }
 
 (* One entry of a group's event buffer: the worker-side hooks record
@@ -172,6 +188,7 @@ type rec_ = {
    interprets the streams at the next barrier. *)
 type ev =
   | E_apply of Service.request * int  (* apply virtual time *)
+  | E_commit of Service.request * int (* global shard *) * int (* slot *) * int
   | E_ack of Service.request * Service.result * bool (* dedup *) * int
 
 let run (c : config) : report =
@@ -205,10 +222,18 @@ let run (c : config) : report =
     if c.checkpoint_interval <= 0 then 0
     else (c.checkpoint_interval + epoch - 1) / epoch * epoch
   in
+  (* Each machine gets its own optimizer context with the plan
+     pre-installed: machines run on worker domains, whose ambient
+     contexts never saw the main domain's plan, and sharing one
+     context across domains would race its counters. *)
+  let plan =
+    match c.plan with Some _ -> c.plan | None -> Nvt_nvm.Optimizer.plan ()
+  in
   let machines =
     Array.init domains (fun g ->
         Machine.create ~seed:(c.seed + (1031 * g)) ~cost:c.cost
-          ~eviction:c.eviction ())
+          ~eviction:c.eviction
+          ~optimizer:(Nvt_nvm.Optimizer.of_plan plan) ())
   in
   (* Building a slice allocates its ledger cells on the calling
      domain's current machine; group g's slice must live on machine g. *)
@@ -240,6 +265,17 @@ let run (c : config) : report =
   in
   let arr_rng = Random.State.make [| c.seed; 0xa11 |] in
   let cli_rng = Random.State.make [| c.seed; 0xc11 |] in
+  let op_rng = Random.State.make [| c.seed; 0x0b7 |] in
+  (* keys of each global shard, for building same-shard multi-puts *)
+  let by_shard =
+    lazy
+      (let a = Array.make c.shards [] in
+       for k = c.key_range - 1 downto 0 do
+         let g = Service.global_shard ~shards:c.shards k in
+         a.(g) <- k :: a.(g)
+       done;
+       Array.map Array.of_list a)
+  in
   let seq_ctr = Array.make c.clients 0 in
   let clock = ref 0 in
   let arrivals =
@@ -254,8 +290,39 @@ let run (c : config) : report =
           | Workload.Delete k -> Service.Del k
           | Workload.Lookup k -> Service.Get k
         in
+        let op =
+          (* [op_rng] is consumed only when the mixed ops are enabled,
+             so default configurations keep their exact histories *)
+          if c.multi_pct + c.rmw_pct <= 0 then op
+          else begin
+            let roll = Random.State.int op_rng 100 in
+            let k = Service.key_of_op op in
+            if roll < c.multi_pct then begin
+              let pool =
+                (Lazy.force by_shard).(Service.global_shard ~shards:c.shards k)
+              in
+              let n = Array.length pool in
+              let kk = max 1 (min c.multi_k n) in
+              let start = Random.State.int op_rng n in
+              Service.Multi_put
+                (List.init kk (fun i ->
+                     let k' = pool.((start + i) mod n) in
+                     (k', k' + 1)))
+            end
+            else if roll < c.multi_pct + c.rmw_pct then
+              Service.Rmw (k, 1 + Random.State.int op_rng 7)
+            else op
+          end
+        in
         { a_client = client; a_seq = seq; a_op = op; a_time = !clock })
   in
+  let count_ops p =
+    Array.fold_left (fun n a -> if p a.a_op then n + 1 else n) 0 arrivals
+  in
+  let multi_puts =
+    count_ops (function Service.Multi_put _ -> true | _ -> false)
+  in
+  let rmws = count_ops (function Service.Rmw _ -> true | _ -> false) in
 
   (* ---- oracle state (plain OCaml: survives simulated crashes) ---- *)
   let recs : (int * int, rec_) Hashtbl.t = Hashtbl.create (2 * c.requests) in
@@ -266,7 +333,8 @@ let run (c : config) : report =
           r_op = a.a_op;
           r_acks = 0;
           r_ack_res = None;
-          r_applies = 0 })
+          r_applies = 0;
+          r_pos = None })
     arrivals;
   let violations = ref [] in
   let violation fmt =
@@ -310,6 +378,10 @@ let run (c : config) : report =
       let mg = machines.(g) in
       Service.set_on_apply svc (fun req _res ->
           Queue.push (E_apply (req, Machine.now mg)) evq.(g));
+      Service.set_on_commit svc (fun req ~shard ~slot ->
+          Queue.push
+            (E_commit (req, Service.global_of_local svc shard, slot, Machine.now mg))
+            evq.(g));
       Service.set_on_ack svc (fun req res ~dedup ->
           Queue.push (E_ack (req, res, dedup, Machine.now mg)) evq.(g)))
     services;
@@ -321,7 +393,7 @@ let run (c : config) : report =
      (which includes the batch's slice-dependent fence cost); per-op
      and dedup acks are worker-local and release at their true time. *)
   let eff_of = function
-    | E_apply (_, v) -> v
+    | E_apply (_, v) | E_commit (_, _, _, v) -> v
     | E_ack (_, _, dedup, v) ->
       if is_group && not dedup then ((v / commit_interval) + 1) * commit_interval
       else v
@@ -343,7 +415,8 @@ let run (c : config) : report =
             let key =
               match e with
               | E_apply (req, _) -> (req.Service.client, req.seq, 0)
-              | E_ack (req, _, _, _) -> (req.Service.client, req.seq, 1)
+              | E_commit (req, _, _, _) -> (req.Service.client, req.seq, 1)
+              | E_ack (req, _, _, _) -> (req.Service.client, req.seq, 2)
             in
             acc := (eff_of e, key, e) :: !acc)
           q;
@@ -364,6 +437,10 @@ let run (c : config) : report =
         else if x.r_acks > 0 then
           violation "client=%d seq=%d applied after acknowledgement"
             req.client req.seq)
+    | E_commit (req, gs, slot, _) -> (
+      match rec_of req with
+      | None -> ()
+      | Some x -> x.r_pos <- Some (gs, slot))
     | E_ack (req, res, dedup, v) -> (
       match rec_of req with
       | None -> ()
@@ -498,6 +575,47 @@ let run (c : config) : report =
     in
     loop ()
   in
+  (* Durable-commit audit at each recovered quiescent point: every
+     request acknowledged before the crash committed at a recorded
+     (shard, slot), and that slot must still be below the shard's
+     recovered commit extent (checkpoint base + retained suffix). The
+     final-state check can only vouch for truncated records through a
+     later committed seq of the same client — and after the full run a
+     victim's successor can commit in a later era and vouch for an ack
+     the crash actually erased; the recorded position needs no
+     vouching, so a lost acknowledgement is caught red-handed here.
+     This is the window the commit fence closes — recovery's store
+     reconciliation repairs the state divergence that used to betray
+     its loss, so the oracle must hold the ack against the ledger
+     directly. *)
+  let check_acks_durable () =
+    let extent = Array.make c.shards 0 in
+    Array.iter
+      (fun svc ->
+        let logs = Service.committed_log svc in
+        Array.iteri
+          (fun li (base, _, _) ->
+            extent.(Service.global_of_local svc li) <-
+              base + List.length logs.(li))
+          (Service.checkpoint_state svc))
+      services;
+    Hashtbl.iter
+      (fun (cl, sq) (x : rec_) ->
+        if x.r_acks > 0 then
+          match x.r_pos with
+          | Some (gs, slot) when slot >= extent.(gs) ->
+            violation
+              "recovery: client=%d seq=%d acknowledged at shard %d slot %d \
+               but the recovered commit extent is %d — acknowledged work lost"
+              cl sq gs slot extent.(gs)
+          | Some _ -> ()
+          | None ->
+            violation
+              "recovery: client=%d seq=%d acknowledged without an observed \
+               commit"
+              cl sq)
+      recs
+  in
   (* One era: start the services, re-send outstanding requests, then
      advance all machines barrier by barrier until they complete, the
      era's crash threshold fires, or the watchdog trips. *)
@@ -523,7 +641,8 @@ let run (c : config) : report =
         process_ready ~all:true !vtime;
         crash_all ();
         incr fired;
-        recover_parallel ()
+        recover_parallel ();
+        if not !stalled then check_acks_durable ()
       | _ ->
         process_ready ~all:false !vtime;
         release_arrivals !vtime;
@@ -630,6 +749,24 @@ let run (c : config) : report =
         end
         else Service.Done false
       | Service.Get k -> Service.Value (Hashtbl.find_opt model k)
+      | Service.Multi_put kvs ->
+        (* mirror the store's semantics exactly: add-if-absent per key
+           in list order, true iff every key was fresh *)
+        Service.Done
+          (List.fold_left
+             (fun acc (k, v) ->
+               let fresh = not (Hashtbl.mem model k) in
+               if fresh then Hashtbl.replace model k v;
+               acc && fresh)
+             true kvs)
+      | Service.Rmw (k, d) -> (
+        match Hashtbl.find_opt model k with
+        | Some v ->
+          Hashtbl.replace model k (v + d);
+          Service.Value (Some v)
+        | None ->
+          Hashtbl.replace model k d;
+          Service.Value None)
     in
     (* committed logs in global shard order, merged over the slices *)
     let logs = Array.make c.shards [] in
@@ -742,6 +879,8 @@ let run (c : config) : report =
     acked = !completed;
     applies = !applies;
     resent = !resent;
+    multi_puts;
+    rmws;
     dedup_acks = !dedup_acks;
     audit_acks = !audit_acks;
     crashes_requested = List.length c.crash_steps;
@@ -794,6 +933,9 @@ let pp_report ppf r =
   Format.fprintf ppf
     "  acked %d/%d  applies %d  resent %d  dedup %d  audit %d@,"
     r.acked c.requests r.applies r.resent r.dedup_acks r.audit_acks;
+  if r.multi_puts > 0 || r.rmws > 0 then
+    Format.fprintf ppf "  mixed ops: %d multi-put(%d keys)  %d rmw@,"
+      r.multi_puts c.multi_k r.rmws;
   Format.fprintf ppf "  crashes %d/%d  eras %d  steps %d  makespan %d@,"
     r.crashes_fired r.crashes_requested r.eras r.steps r.makespan;
   if c.checkpoint_interval > 0 || r.recovery_crashes_requested > 0 then
@@ -826,6 +968,8 @@ let mode_json (r : report) : Nvt_harness.Json.t =
       ("acked", Int r.acked);
       ("applies", Int r.applies);
       ("resent", Int r.resent);
+      ("multi_puts", Int r.multi_puts);
+      ("rmws", Int r.rmws);
       ("dedup_acks", Int r.dedup_acks);
       ("audit_acks", Int r.audit_acks);
       ("crashes_requested", Int r.crashes_requested);

@@ -47,6 +47,22 @@ type config = {
           recovery (double-crash eras): each recovery pass after an era
           crash consumes the next threshold, crashes every machine, and
           restarts recovery from the durable state. Default []. *)
+  plan : Nvt_nvm.Optimizer.plan option;
+      (** Optimizer plan installed on every machine's own context
+          (worker domains never see the main domain's ambient plan, and
+          a shared context would race its counters across domains).
+          [None] (the default) inherits the calling domain's ambient
+          plan, so wrapping [run] in {!Nvt_nvm.Optimizer.set} works. *)
+  multi_pct : int;
+      (** percentage of requests issued as same-shard
+          {!Service.Multi_put} batches (default 0: none, and the
+          op-mix RNG is never consumed, so existing histories are
+          unchanged) *)
+  multi_k : int;
+      (** keys per multi-put, capped at the shard's key pool
+          (default 4) *)
+  rmw_pct : int;
+      (** percentage of requests issued as {!Service.Rmw} (default 0) *)
 }
 
 val default_config : config
@@ -58,6 +74,8 @@ type report = {
   acked : int;
   applies : int;
   resent : int;
+  multi_puts : int;  (** requests issued as same-shard multi-puts *)
+  rmws : int;  (** requests issued as read-modify-writes *)
   dedup_acks : int;
   audit_acks : int;
   crashes_requested : int;

@@ -67,14 +67,34 @@ module Sim_mem = Nvt_sim.Memory
 module Stats = Nvt_nvm.Stats
 module I = Nvt_harness.Instances
 
-type op = Put of int * int | Del of int | Get of int
+type op =
+  | Put of int * int
+  | Del of int
+  | Get of int
+  | Multi_put of (int * int) list
+      (* k same-shard puts, one ledger record, one commit: the batch is
+         applied and acknowledged atomically under the standard two
+         commit fences, so durability costs a pair of fences for k keys
+         even in per-op mode *)
+  | Rmw of int * int
+      (* read-modify-write: add the delta to the key's current value
+         (installing the delta when absent) and return the old value,
+         applied and committed as one request *)
 
-let key_of_op = function Put (k, _) | Del k | Get k -> k
+let key_of_op = function
+  | Put (k, _) | Del k | Get k | Rmw (k, _) -> k
+  | Multi_put ((k, _) :: _) -> k
+  | Multi_put [] -> invalid_arg "service: empty multi-put"
 
 let pp_op ppf = function
   | Put (k, v) -> Format.fprintf ppf "put(%d,%d)" k v
   | Del k -> Format.fprintf ppf "del(%d)" k
   | Get k -> Format.fprintf ppf "get(%d)" k
+  | Multi_put kvs ->
+    Format.fprintf ppf "mput[%s]"
+      (String.concat ";"
+         (List.map (fun (k, v) -> Printf.sprintf "%d,%d" k v) kvs))
+  | Rmw (k, d) -> Format.fprintf ppf "rmw(%d,%+d)" k d
 
 type result = Done of bool | Value of int option
 
@@ -107,6 +127,10 @@ type store = {
   apply : op -> result;
   st_recover : unit -> unit;
   st_contents : unit -> (int * int) list;
+  st_reconcile : (int * int) list -> unit;
+      (* make the structure's contents equal the given pairs — recovery
+         calls this with the rebuilt committed-prefix mirror to undo
+         persisted effects of applies that never committed *)
   st_check : unit -> unit;
 }
 
@@ -170,6 +194,7 @@ type t = {
   mutable stop : bool;
   mutable on_apply : request -> result -> unit;
   mutable on_ack : request -> result -> dedup:bool -> unit;
+  mutable on_commit : request -> shard:int -> slot:int -> unit;
   policy_recover : unit -> unit;
   svc_fence : string -> unit;
   poll_quantum : int;
@@ -187,9 +212,49 @@ let mk_store (structure : (module I.STRUCTURE)) (policy : I.policy) : store =
         match op with
         | Put (k, v) -> Done (S.insert s ~key:k ~value:v)
         | Del k -> Done (S.delete s k)
-        | Get k -> Value (S.find s k));
+        | Get k -> Value (S.find s k)
+        | Multi_put kvs ->
+          (* add-if-absent per key, in list order (a duplicate key later
+             in the batch sees the earlier insert); [Done true] iff
+             every key was fresh *)
+          Done
+            (List.fold_left
+               (fun acc (k, v) ->
+                 let fresh = S.insert s ~key:k ~value:v in
+                 acc && fresh)
+               true kvs)
+        | Rmw (k, d) -> (
+          match S.find s k with
+          | Some v ->
+            ignore (S.delete s k);
+            ignore (S.insert s ~key:k ~value:(v + d));
+            Value (Some v)
+          | None ->
+            ignore (S.insert s ~key:k ~value:d);
+            Value None));
     st_recover = (fun () -> S.recover s);
     st_contents = (fun () -> S.to_list s);
+    st_reconcile =
+      (fun pairs ->
+        (* delete keys the committed truth does not have (or holds at a
+           different value), then insert what is missing; the ops run
+           through the policy, so the fix-ups persist like any other
+           update. Only a durable policy earns this: under a volatile
+           flavour the log is no truer than the store, and rebuilding
+           from it would mask exactly the lost-acknowledgement window
+           the negative control exists to detect. *)
+        let (module Pol : I.POLICY) = policy in
+        if not Pol.durable then ()
+        else
+        let want = Hashtbl.create (List.length pairs * 2) in
+        List.iter (fun (k, v) -> Hashtbl.replace want k v) pairs;
+        List.iter
+          (fun (k, v) ->
+            match Hashtbl.find_opt want k with
+            | Some v' when v' = v -> Hashtbl.remove want k
+            | Some _ | None -> ignore (S.delete s k))
+          (S.to_list s);
+        Hashtbl.iter (fun k v -> ignore (S.insert s ~key:k ~value:v)) want);
     st_check = (fun () -> S.check_invariants s) }
 
 let mk_ledger (module LMem : Nvt_nvm.Memory.S) () : ledger =
@@ -316,6 +381,7 @@ let create ?(poll_quantum = 100) ?(slice = (0, 1)) ?commit_interval
     stop = false;
     on_apply = (fun _ _ -> ());
     on_ack = (fun _ _ ~dedup:_ -> ());
+    on_commit = (fun _ ~shard:_ ~slot:_ -> ());
     policy_recover = L.recover;
     svc_fence =
       (fun site ->
@@ -327,6 +393,7 @@ let create ?(poll_quantum = 100) ?(slice = (0, 1)) ?commit_interval
 
 let set_on_apply t f = t.on_apply <- f
 let set_on_ack t f = t.on_ack <- f
+let set_on_commit t f = t.on_commit <- f
 let shard_count t = Array.length t.shards
 let request_stop t = t.stop <- true
 
@@ -338,6 +405,14 @@ let mirror_apply sh op =
   | Put (k, v) -> if not (Hashtbl.mem sh.mirror k) then Hashtbl.replace sh.mirror k v
   | Del k -> Hashtbl.remove sh.mirror k
   | Get _ -> ()
+  | Multi_put kvs ->
+    List.iter
+      (fun (k, v) ->
+        if not (Hashtbl.mem sh.mirror k) then Hashtbl.replace sh.mirror k v)
+      kvs
+  | Rmw (k, d) ->
+    Hashtbl.replace sh.mirror k
+      (match Hashtbl.find_opt sh.mirror k with Some v -> v + d | None -> d)
 
 (* Direct store access for prefill (bypasses the ledger and hooks; use
    in setup mode, then [Machine.persist_all]). Keys owned by another
@@ -394,6 +469,9 @@ let commit t = function
       touched;
     t.svc_fence "svc:commit_fence";
     Hashtbl.iter (fun si idx -> t.shards.(si).committed <- idx) touched;
+    List.iter
+      (fun it -> t.on_commit it.c_req ~shard:it.c_shard ~slot:it.c_slot)
+      items;
     List.iter (fun it -> t.on_ack it.c_req it.c_res ~dedup:false) items
 
 (* ------------------------------------------------------------------ *)
@@ -458,6 +536,17 @@ let next_boundary now interval = (((now / interval) + 1) * interval)
 (* ------------------------------------------------------------------ *)
 
 let process t shard_ix req =
+  (* a multi-put is atomic because one shard worker applies and one
+     ledger record commits it; keys on another shard would silently
+     break that, so a spanning batch is a router/generator bug *)
+  (match req.op with
+  | Multi_put kvs ->
+    List.iter
+      (fun (k, _) ->
+        if shard_of t k <> shard_ix then
+          invalid_arg "service: multi-put keys span shards")
+      kvs
+  | _ -> ());
   let sh = t.shards.(shard_ix) in
   match Hashtbl.find_opt t.last req.client with
   | Some d when d.d_seq > req.seq ->
@@ -470,7 +559,13 @@ let process t shard_ix req =
        will acknowledge it, and acknowledging here would ack an
        operation that is not yet durable *)
     let dsh = t.shards.(d.d_shard) in
-    if dsh.committed > d.d_slot then t.on_ack req d.d_res ~dedup:true
+    if dsh.committed > d.d_slot then begin
+      (* re-assert the committed position: a crash can sever the
+         original batch's hooks after its commit fence, leaving this
+         dedup answer as the request's only acknowledgement *)
+      t.on_commit req ~shard:d.d_shard ~slot:d.d_slot;
+      t.on_ack req d.d_res ~dedup:true
+    end
   | _ ->
     let res = sh.store.apply req.op in
     t.on_apply req res;
@@ -624,7 +719,14 @@ let recover_shard t si =
     mirror_apply sh e.e_op;
     merge_last t e.e_client
       { d_seq = e.e_seq; d_res = e.e_res; d_shard = si; d_slot = slot }
-  done
+  done;
+  (* The committed log is the truth: undo the persisted effects of
+     applies that never committed by reconciling the store to the
+     rebuilt mirror. Idempotent ops (put/del) masked this window — a
+     re-sent put converges on its own — but a non-idempotent RMW (or a
+     multi-put the crash split) double-applies without it. *)
+  sh.store.st_reconcile
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) sh.mirror [])
 
 let recover t =
   begin_recovery t;
@@ -658,7 +760,10 @@ let check_invariants t =
 let committed_log t =
   Array.map
     (fun sh ->
-      List.init (sh.committed - sh.base) (fun i ->
+      (* a suppressed commit site can leave the recovered index below a
+         committed checkpoint's base; the retained suffix is then empty
+         (everything below base is snapshot-covered), not negative *)
+      List.init (max 0 (sh.committed - sh.base)) (fun i ->
           sh.ledger.read_entry (sh.base + i)))
     t.shards
 

@@ -18,9 +18,27 @@
     O(delta since the last checkpoint), and {!spawn_recovery} runs it
     as parallel simulated threads. *)
 
-type op = Put of int * int | Del of int | Get of int
+type op =
+  | Put of int * int  (** add-if-absent *)
+  | Del of int
+  | Get of int
+  | Multi_put of (int * int) list
+      (** k puts on {e one shard}, applied in list order and committed
+          as one ledger record under the standard two commit fences —
+          durable multi-put at a pair of fences for k keys, even in
+          per-op mode. Every key must map to the same global shard
+          ({!global_shard}); a spanning batch raises, and an empty one
+          is invalid. [Done true] iff every key was fresh. *)
+  | Rmw of int * int
+      (** [Rmw (k, d)]: read-modify-write — add [d] to [k]'s current
+          value, installing [d] when absent; answers [Value old]. One
+          request, one ledger record, one commit: the read and the
+          write cannot be separated by a crash. *)
 
 val key_of_op : op -> int
+(** The key routing the request to its shard (a multi-put routes by its
+    first key). Raises [Invalid_argument] on [Multi_put []]. *)
+
 val pp_op : Format.formatter -> op -> unit
 
 type result = Done of bool | Value of int option
@@ -127,6 +145,14 @@ val set_on_ack : t -> (request -> result -> dedup:bool -> unit) -> unit
 (** Called when a request is acknowledged: after its commit fence, or
     with [~dedup:true] when a re-sent committed request was answered
     from the ledger. *)
+
+val set_on_commit : t -> (request -> shard:int -> slot:int -> unit) -> unit
+(** Called once per batch item when its commit fence completes, with
+    the {e local} shard and log slot the request committed at — the
+    position a post-crash oracle can hold the durable index against
+    (a claim, not evidence: with the commit fence suppressed the call
+    still fires, which is exactly what lets the runner catch an
+    acknowledgement the durable index never covered). *)
 
 (** {1 Introspection} (quiescent / setup-mode use only) *)
 

@@ -188,8 +188,8 @@ let classify_site (sc : Mutlab.scale) ~structure ~policy ~site ~flushes
       { Mutlab.site; flushes; fences; skipped_flushes; skipped_fences; runs;
         verdict })
 
-let run_combo (sc : Mutlab.scale) ~structure ~policy : Mutlab.flavour_report
-    =
+let run_combo (sc : Mutlab.scale) ?plan ~structure ~policy () :
+    Mutlab.flavour_report =
   set_combo ~structure ~policy;
   let fl =
     match I.flavour policy with
@@ -197,6 +197,19 @@ let run_combo (sc : Mutlab.scale) ~structure ~policy : Mutlab.flavour_report
     | None -> invalid_arg (Printf.sprintf "svclab: unknown policy %S" policy)
   in
   let (module Pol : I.POLICY) = fl.policy in
+  let elided =
+    match (plan : Nvt_nvm.Optimizer.plan option) with
+    | Some p when Pol.durable -> p.elide
+    | _ -> []
+  in
+  let with_plan fn =
+    match plan with
+    | None -> fn ()
+    | Some p ->
+      Nvt_nvm.Optimizer.set (Some p);
+      Fun.protect ~finally:(fun () -> Nvt_nvm.Optimizer.set None) fn
+  in
+  with_plan @@ fun () ->
   let probe_steps, probe_stats =
     let steps, st = probe ~structure ~policy ~seed:0 in
     (steps, Stats.copy st)
@@ -209,7 +222,8 @@ let run_combo (sc : Mutlab.scale) ~structure ~policy : Mutlab.flavour_report
       probe_stats;
       control_runs = 0;
       control_failure = None;
-      sites = [] }
+      sites = [];
+      elided }
   else begin
     let control_failure, control_runs = sweep ~structure ~policy sc in
     let site_counts = Stats.sites probe_stats in
@@ -230,10 +244,22 @@ let run_combo (sc : Mutlab.scale) ~structure ~policy : Mutlab.flavour_report
       probe_stats;
       control_runs;
       control_failure;
-      sites }
+      sites;
+      elided }
   end
 
-let run ?(policies = []) (sc : Mutlab.scale) : Mutlab.flavour_report list =
+let run ?(policies = []) ?optimize (sc : Mutlab.scale) :
+    Mutlab.flavour_report list =
   sc.service
   |> List.filter (fun (_, p) -> policies = [] || List.mem p policies)
-  |> List.map (fun (structure, policy) -> run_combo sc ~structure ~policy)
+  |> List.map (fun (structure, policy) ->
+         (* elision plans key the service rows by their bare structure
+            name: svc sites are commit-protocol sites, proven necessary,
+            so derived plans only ever elide engine/policy sites that
+            the store reaches through the service *)
+         let plan =
+           Option.map
+             (fun j -> Mutlab.plan_of_report j ~structure ~policy)
+             optimize
+         in
+         run_combo sc ?plan ~structure ~policy ())

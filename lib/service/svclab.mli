@@ -9,15 +9,21 @@
 
     Results are ordinary {!Nvt_harness.Mutlab.flavour_report}s with
     [structure = "svc:" ^ name]: [nvtsim mutate] appends them to the
-    structure batteries' report, and the nvtraverse-mutation/1 schema,
+    structure batteries' report, and the nvtraverse-mutation/2 schema,
     gate and validator apply unchanged. *)
 
 val run :
   ?policies:string list ->
+  ?optimize:Nvt_harness.Json.t ->
   Nvt_harness.Mutlab.scale ->
   Nvt_harness.Mutlab.flavour_report list
 (** Run the battery for every [(structure, policy)] combo in the
     scale's [service] list (restricted to [policies] when non-empty).
+    [optimize] is a committed mutation report: each combo then runs
+    under the optimizer plan {!Nvt_harness.Mutlab.plan_of_report}
+    derives for its {e store}'s structure x policy — svc commit sites
+    are proven necessary and never planned — so the battery doubles as
+    the service-scale durability proof of the optimized configuration.
     Raises [Failure] if an intact probe run reports a violation. *)
 
 val set_combo : structure:string -> policy:string -> unit

@@ -172,6 +172,9 @@ type t = {
       (* the machine's suppression context, installed alongside the
          machine by [set_current] so two machines on two domains (or
          interleaved on one) never share counters or suppression state *)
+  optimizer : Nvt_nvm.Optimizer.t;
+      (* same story for the optimizer: the plan and its savings
+         counters belong to the machine, not the domain *)
   mutable tracer : tracer option;
   mutable on_step : (int -> int -> unit) option;
       (* called with (step, tid) at every executed scheduling step; the
@@ -187,7 +190,8 @@ let current_machine : t option Domain.DLS.key =
   Domain.DLS.new_key (fun () -> None)
 
 let create ?(seed = 0) ?(cost = Cost_model.nvram) ?(eviction = No_eviction)
-    ?stall ?(jitter = 0) ?(suppress = Nvt_nvm.Suppress.ambient ()) () =
+    ?stall ?(jitter = 0) ?(suppress = Nvt_nvm.Suppress.ambient ())
+    ?(optimizer = Nvt_nvm.Optimizer.ambient ()) () =
   let m =
     { rng = Random.State.make [| seed; 0x5eed |];
       cost;
@@ -209,16 +213,19 @@ let create ?(seed = 0) ?(cost = Cost_model.nvram) ?(eviction = No_eviction)
       scheduler = None;
       stats = Stats.zero ();
       suppress;
+      optimizer;
       tracer = None;
       on_step = None }
   in
   Domain.DLS.set current_machine (Some m);
   Nvt_nvm.Suppress.use m.suppress;
+  Nvt_nvm.Optimizer.use m.optimizer;
   m
 
 let set_current m =
   Domain.DLS.set current_machine (Some m);
-  Nvt_nvm.Suppress.use m.suppress
+  Nvt_nvm.Suppress.use m.suppress;
+  Nvt_nvm.Optimizer.use m.optimizer
 
 let get () =
   match Domain.DLS.get current_machine with
@@ -226,6 +233,7 @@ let get () =
   | None -> failwith "Sim: no current machine"
 
 let suppress m = m.suppress
+let optimizer m = m.optimizer
 
 let clock m = m.clock
 let steps m = m.steps
@@ -564,7 +572,12 @@ let maybe_evict m =
       if n > 0 then begin
         let (Any_cell c) = Dirty.get m.dirty (Random.State.int m.rng n) in
         record_event m (Ev_evict { step = m.steps; cid = c.cid });
-        persist_value m c c.vol
+        persist_value m c c.vol;
+        (* an eviction removes the line from the cache, so the next
+           read must miss — exactly like the clwb-style flush paths,
+           and gated on the same cost-model switch so the free/uniform
+           profiles (which model no cache at all) are unaffected *)
+        if m.cost.flush_invalidates then c.invalid <- true
       end
     end
 

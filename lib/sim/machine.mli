@@ -56,25 +56,30 @@ val create :
   ?stall:stall ->
   ?jitter:int ->
   ?suppress:Nvt_nvm.Suppress.t ->
+  ?optimizer:Nvt_nvm.Optimizer.t ->
   unit ->
   t
 (** A fresh machine, installed as the calling domain's current one.
     [jitter] adds 0..n random extra cost units per operation to break
     scheduling ties. [suppress] is the machine's mutation-suppression
-    context (default: the calling domain's ambient context, so a
-    suppression set up before creating the machine stays in force). *)
+    context and [optimizer] its persistence-optimizer context (default:
+    the calling domain's ambient contexts, so a suppression or plan set
+    up before creating the machine stays in force). *)
 
 val set_current : t -> unit
 (** Route subsequent {!module:Memory} operations on the calling domain
-    to this machine, and install its suppression context. The current
-    machine is domain-local state: machines on different domains never
-    share it. *)
+    to this machine, and install its suppression and optimizer
+    contexts. The current machine is domain-local state: machines on
+    different domains never share it. *)
 
 val get : unit -> t
 (** The calling domain's current machine; raises if none was created. *)
 
 val suppress : t -> Nvt_nvm.Suppress.t
 (** The machine's suppression context. *)
+
+val optimizer : t -> Nvt_nvm.Optimizer.t
+(** The machine's persistence-optimizer context. *)
 
 (** {1 Threads and execution} *)
 

@@ -21,5 +21,6 @@ let () =
       ("telemetry", Test_telemetry.suite);
       ("ablation", Test_ablation.suite);
       ("mutation", Test_mutation.suite);
+      ("optimizer", Test_optimizer.suite);
       ("recovery", Test_recovery.suite);
       ("properties", Test_properties.suite) ]

@@ -104,10 +104,44 @@ let json_round_trip () =
   Alcotest.(check string) "emit . parse . emit is the identity" s s';
   (* spot-check the parsed structure *)
   let parsed = Json.parse s in
-  Alcotest.(check string) "schema tag" "nvtraverse-mutation/1"
+  Alcotest.(check string) "schema tag" "nvtraverse-mutation/2"
     Json.(to_string_exn (member "schema" parsed));
   let flavours = Json.(to_list (member "flavours" parsed)) in
-  Alcotest.(check int) "two flavours serialized" 2 (List.length flavours)
+  Alcotest.(check int) "two flavours serialized" 2 (List.length flavours);
+  (* /2's machine-readable candidate array: exactly the unkilled
+     verdicts, each allowlisted entry carrying its reason — this is
+     what the optimizer derives elision plans from *)
+  let unkilled =
+    List.concat_map
+      (fun (fr : Mutlab.flavour_report) ->
+        List.filter_map
+          (fun (sr : Mutlab.site_report) ->
+            match sr.verdict with
+            | Mutlab.Unkilled _ -> Some (fr.policy, sr.site)
+            | Mutlab.Necessary _ -> None)
+          fr.sites)
+      (Lazy.force report).flavours
+  in
+  let listed =
+    Json.(to_list (member "candidate_redundant" parsed))
+    |> List.map (fun e ->
+           Json.
+             ( to_string_exn (member "policy" e),
+               to_string_exn (member "site" e) ))
+  in
+  Alcotest.(check (list (pair string string)))
+    "candidate_redundant mirrors the unkilled verdicts"
+    (List.sort compare unkilled) (List.sort compare listed);
+  (* the derived elision plan for this structure x policy is exactly
+     the candidate sites (no mutual-cover group applies to the list) *)
+  let plan = Mutlab.plan_of_report parsed ~structure:"list" ~policy:"nvt" in
+  Alcotest.(check bool) "derived plans defer" true plan.Nvt_nvm.Optimizer.defer;
+  Alcotest.(check (list string))
+    "derived elisions are the candidate sites"
+    (List.filter_map
+       (fun (p, s) -> if p = "nvt" then Some s else None)
+       (List.sort compare unkilled))
+    (List.sort compare plan.Nvt_nvm.Optimizer.elide)
 
 let gate_passes () =
   let g = Mutlab.gate_of (Lazy.force report) in

@@ -12,7 +12,9 @@ Each FILE is a JSON artifact produced by `bench/main.exe` or
     nvtraverse-selfperf/2  bench selfperf --json (BENCH_selfperf.json)
     nvtraverse-service/1   bench service --json  (BENCH_service.json)
     nvtraverse-recovery/1  bench recovery-service --json (BENCH_recovery.json)
-    nvtraverse-mutation/1  nvtsim mutate         (MUTATION_report.json)
+    nvtraverse-mutation/1  nvtsim mutate (legacy, display-only verdicts)
+    nvtraverse-mutation/2  nvtsim mutate         (MUTATION_report.json)
+    nvtraverse-optimizer/1 bench optimizer --json (BENCH_optimizer.json)
 
 Validators assert structural invariants only (series present, sums
 consistent, gate coherent with verdicts) — never absolute performance
@@ -309,6 +311,137 @@ def validate_mutation(rep):
     )
 
 
+def validate_mutation2(rep):
+    base = validate_mutation(rep)
+    require(isinstance(rep["optimized"], bool), "optimized is not a bool")
+
+    # The machine-readable candidate_redundant array is exactly the set
+    # of Unkilled verdicts — it is what the optimizer derives elision
+    # plans from, so any drift between it and the per-site verdicts
+    # would let an unproven elision ship.
+    recomputed = {}
+    for fr in rep["flavours"]:
+        for sr in fr["sites"]:
+            if sr["verdict"] == "unkilled":
+                recomputed[(fr["structure"], fr["policy"], sr["site"])] = sr[
+                    "expected"
+                ]
+    listed = {}
+    for e in rep["candidate_redundant"]:
+        key = (e["structure"], e["policy"], e["site"])
+        require(key not in listed, f"duplicate candidate entry {key}")
+        require(isinstance(e["expected"], bool), f"{key}: expected not a bool")
+        require(
+            bool(e.get("reason")) == e["expected"],
+            f"{key}: reason present iff the site is allowlisted-expected",
+        )
+        listed[key] = e["expected"]
+    require(
+        listed == recomputed,
+        f"candidate_redundant {sorted(listed)} does not match the "
+        f"unkilled verdicts {sorted(recomputed)}",
+    )
+    return f"{base}; {len(listed)} candidate-redundant sites"
+
+
+# ------------------------------------------------------------- optimizer
+
+
+def close(a, b, tol=1e-3):
+    return abs(a - b) <= tol * max(1.0, abs(a), abs(b))
+
+
+def validate_optimizer(opt):
+    rows = opt["structures"]
+    require(rows, "no structure rows")
+    structures = {r["structure"] for r in rows}
+    for want in ("list", "hash"):
+        require(want in structures, f"missing structure {want}")
+
+    big_cuts = []
+    for r in rows:
+        key = (r["structure"], r["policy"])
+        require(key != (None, None), "row without keys")
+        base, o = r["base"], r["optimized"]
+        for s in (base, o):
+            for k in (
+                "flushes",
+                "fences",
+                "coalesced_flushes",
+                "deferred_flushes",
+                "elided_flushes",
+                "elided_fences",
+            ):
+                require(s[k] >= 0, f"{key}: negative {k}")
+        if not r["durable"]:
+            # volatile control: the optimizer must have nothing to act
+            # on — a nonzero count here means a flush leaked into the
+            # uninstrumented baseline
+            require(r["elided"] == [], f"{key}: volatile row elides sites")
+            require(
+                base["flushes"] == base["fences"] == 0
+                and o["flushes"] == o["fences"] == 0,
+                f"{key}: volatile row has persistence traffic",
+            )
+        # bit-identical operation histories are the whole point: the
+        # optimizer may only change WHEN lines persist, never results
+        require(r["identical_histories"] is True, f"{key}: histories diverge")
+        require(
+            base["history_digest"] == o["history_digest"],
+            f"{key}: history digests differ",
+        )
+        require(
+            o["flushes"] <= base["flushes"] and o["fences"] <= base["fences"],
+            f"{key}: optimizer increased persistence traffic",
+        )
+        for field, red in (("flushes", "flush_reduction"),
+                           ("fences", "fence_reduction")):
+            want = 1.0 - o[field] / base[field] if base[field] else 0.0
+            require(
+                close(r[red], want),
+                f"{key}: {red} {r[red]} != recomputed {want:.6f}",
+            )
+        if r["durable"] and r["flush_reduction"] >= 0.15:
+            big_cuts.append(key)
+    require(
+        len(big_cuts) >= 2,
+        f"only {big_cuts} reach a 15% flushes/op reduction (need 2 pairs)",
+    )
+
+    svc = opt["service"]
+    require(svc, "no service rows")
+    labels = {s["label"]: s for s in svc}
+    require("per_op" in labels, f"no per_op service row in {sorted(labels)}")
+    scalar_base = labels["per_op"]["base"]["fences_per_op"]
+    for s in svc:
+        for leg in ("base", "optimized"):
+            require(
+                s[leg]["violations"] == [],
+                f"service {s['label']}/{leg}: {s[leg]['violations']}",
+            )
+            require(s[leg]["acked"] > 0, f"service {s['label']}/{leg}: no acks")
+        require(
+            s["optimized"]["fences_per_op"] < s["base"]["fences_per_op"],
+            f"service {s['label']}: optimizer saves no fences",
+        )
+        if s["multi_pct"] > 0:
+            require(
+                s["base"]["multi_puts"] > 0,
+                f"service {s['label']}: multi-put mix issued no multi-puts",
+            )
+            require(
+                s["optimized"]["fences_per_key"] < scalar_base,
+                f"service {s['label']}: multi-put does not amortize fences "
+                f"below the scalar per-op baseline {scalar_base}",
+            )
+    require(opt["gate_ok"] is True, "bench recorded gate_ok=false")
+    return (
+        f"{len(rows)} structure rows ({len(big_cuts)} with >=15% flush cut: "
+        f"{big_cuts}), {len(svc)} service rows, per-op fences/op "
+        f"{scalar_base:.3f} -> {labels['per_op']['optimized']['fences_per_op']:.3f}"
+    )
+
+
 # ------------------------------------------------------------------ main
 
 VALIDATORS = {
@@ -319,6 +452,8 @@ VALIDATORS = {
     "nvtraverse-service/1": validate_service,
     "nvtraverse-recovery/1": validate_recovery,
     "nvtraverse-mutation/1": validate_mutation,
+    "nvtraverse-mutation/2": validate_mutation2,
+    "nvtraverse-optimizer/1": validate_optimizer,
 }
 
 
