@@ -108,6 +108,19 @@ let optimizer_cmd =
              bit-identical operation histories")
     Term.(const run_optimizer $ quick $ seed $ json $ mutation_report)
 
+let run_contenders quick seed json report =
+  Contenders.run
+    ?json_path:(if json then Some "BENCH_contenders.json" else None)
+    ~quick ~seed ~report_path:report ()
+
+let contenders_cmd =
+  Cmd.v
+    (Cmd.info "contenders"
+       ~doc:"Head-to-head durable-set contenders: SOFT and detectable \
+             recovery vs plain and optimizer-assisted NVTraverse, \
+             flushes/fences per op and service fences per request")
+    Term.(const run_contenders $ quick $ seed $ json $ mutation_report)
+
 let run_recovery_svc quick seed json =
   Recovery_svc.run
     ?json_path:(if json then Some "BENCH_recovery.json" else None)
@@ -139,4 +152,5 @@ let () =
             selfperf_cmd;
             service_cmd;
             recovery_svc_cmd;
-            optimizer_cmd ]))
+            optimizer_cmd;
+            contenders_cmd ]))

@@ -198,8 +198,10 @@ let run ?json_path ?(quick = false) ?(seed = 1)
     List.concat_map
       (fun s_name ->
         let variants = List.assoc s_name table in
-        List.map
+        List.filter_map
           (fun (f : I.flavour) ->
+            if not (I.supports f s_name) then None
+            else
             let (module Pol : I.POLICY) = f.policy in
             let set = List.assoc f.key variants in
             let f_ops =
@@ -227,7 +229,7 @@ let run ?json_path ?(quick = false) ?(seed = 1)
               (100.0 *. fence_reduction r)
               (if identical r then "ok" else "DIFF")
               (String.concat "," r.r_elided);
-            r)
+            Some r)
           I.flavours)
       structures
   in

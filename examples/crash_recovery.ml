@@ -16,13 +16,17 @@ module I = Nvt_harness.Instances
 
 module type SET = Nvt_core.Set_intf.SET
 
-(* Every policy in the registry, instantiated for the Harris list; a new
-   entry in [Instances.flavours] shows up here with no further work. *)
+(* Every policy in the registry that supports the list, instantiated
+   through its registry entry (so SOFT gets its rewritten list and the
+   detectable flavour its descriptor wrapper); a new entry in
+   [Instances.flavours] shows up here with no further work. *)
 let policies : (string * (module SET)) list =
-  List.map
+  List.filter_map
     (fun (f : I.flavour) ->
-      let (module Pol : I.POLICY) = f.policy in
-      (Pol.name, I.instantiate (module Nvt_structures.Harris_list) f.policy))
+      if not (I.supports f "list") then None
+      else
+        Some
+          (f.key, I.instantiate_flavour f "list" (module Nvt_structures.Harris_list)))
     I.flavours
 
 let crashes = 25

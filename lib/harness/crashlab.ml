@@ -137,18 +137,26 @@ let run (module S : SET) (c : config) =
 (* Registry-driven runs: the same config under every policy of
    [Instances.flavours] for one structure. Configs that crash restrict
    to durable policies by default — the volatile flavour legitimately
-   loses data at a crash. *)
-let run_policies ?(durable_only = true) (module Str : Instances.STRUCTURE)
-    (c : config) =
+   loses data at a crash. [key] is the structure's registry key, which
+   flavours resolve their structure variants and support against; an
+   anonymous structure (no key) skips the flavours restricted to
+   specific structures (SOFT) and applies the structure-independent
+   wrappers (detectable descriptors). *)
+let run_policies ?(durable_only = true) ?(key = "")
+    (module Str : Instances.STRUCTURE) (c : config) =
   let fls =
     if durable_only then Instances.durable_flavours else Instances.flavours
   in
-  List.map
+  List.filter_map
     (fun (f : Instances.flavour) ->
-      (f.key, run (Instances.instantiate (module Str) f.policy) c))
+      let supported =
+        if key = "" then f.only = None else Instances.supports f key
+      in
+      if not supported then None
+      else Some (f.key, run (Instances.instantiate_flavour f key (module Str)) c))
     fls
 
 let run_structure ?durable_only name (c : config) =
   match List.assoc_opt name Instances.structures with
   | None -> invalid_arg (Printf.sprintf "crashlab: unknown structure %S" name)
-  | Some str -> run_policies ?durable_only str c
+  | Some str -> run_policies ?durable_only ~key:name str c

@@ -121,32 +121,36 @@ let run_mix () =
   Printf.printf "%-12s" "structure";
   List.iter (fun (f : flavour) -> Printf.printf " %18s" f.label) flavours;
   print_newline ();
-  let row name range buckets ?(izr_scale = 0.5)
+  let row name key range buckets ?(izr_scale = 0.5)
       (module Str : Instances.STRUCTURE) =
     Printf.printf "%-12s" name;
     List.iter
       (fun (f : flavour) ->
-        (match buckets with
-        | Some b -> Instances.hash_buckets := b
-        | None -> ());
-        let scale =
-          if f.key = "izraelevitz" then izr_scale else f.ops_scale
-        in
-        let r =
-          Throughput.run
-            (instantiate (module Str) f.policy)
-            ~cost:Cost_model.nvram ~seed:2
-            { Throughput.threads = 16; range; mix = Workload.updates ~pct:20;
-              total_ops = int_of_float (4000. *. scale) }
-        in
-        Printf.printf " %8.1f / %7.1f" r.flushes_per_op r.fences_per_op)
+        if not (supports f key) then Printf.printf " %8s / %7s" "-" "-"
+        else begin
+          (match buckets with
+          | Some b -> Instances.hash_buckets := b
+          | None -> ());
+          let scale =
+            if f.key = "izraelevitz" then izr_scale else f.ops_scale
+          in
+          let r =
+            Throughput.run
+              (instantiate_flavour f key (module Str))
+              ~cost:Cost_model.nvram ~seed:2
+              { Throughput.threads = 16; range;
+                mix = Workload.updates ~pct:20;
+                total_ops = int_of_float (4000. *. scale) }
+          in
+          Printf.printf " %8.1f / %7.1f" r.flushes_per_op r.fences_per_op
+        end)
       flavours;
     print_newline ()
   in
-  row "list" 512 None ~izr_scale:0.1 (module Nvt_structures.Harris_list);
-  row "hash" 8192 (Some 4096) (module Instances.Hash_sized);
-  row "bst(nm)" 8192 None (module Nvt_structures.Natarajan_bst);
-  row "skiplist" 8192 None (module Nvt_structures.Skiplist);
+  row "list" "list" 512 None ~izr_scale:0.1 (module Nvt_structures.Harris_list);
+  row "hash" "hash" 8192 (Some 4096) (module Instances.Hash_sized);
+  row "bst(nm)" "bst-nm" 8192 None (module Nvt_structures.Natarajan_bst);
+  row "skiplist" "skiplist" 8192 None (module Nvt_structures.Skiplist);
   Printf.printf
     "(NVTraverse's counts are constant per operation; Izraelevitz et \
      al.'s grow with the traversal; link-and-persist trades flushes for \
@@ -160,7 +164,7 @@ let run_mix () =
       let scale = if f.key = "izraelevitz" then 0.1 else f.ops_scale in
       let r =
         Throughput.run
-          (instantiate (module Nvt_structures.Harris_list) f.policy)
+          (instantiate_flavour f "list" (module Nvt_structures.Harris_list))
           ~cost:Cost_model.nvram ~seed:2
           { Throughput.threads = 16; range = 512;
             mix = Workload.updates ~pct:20;

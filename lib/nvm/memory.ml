@@ -20,6 +20,14 @@
    that the benchmark harness can report which instrumentation point
    pays each instruction, not just the totals. *)
 
+exception Corrupt_read of int
+(** Raised by backends that can detect reads of data lost in a crash
+    (the simulator: a cell whose contents were never persisted). The
+    payload is a backend-specific cell id. Living here rather than in
+    the simulator lets structure-level recovery code — which only sees
+    {!S} — treat "this word did not survive" as an ordinary, catchable
+    outcome without depending on any particular backend. *)
+
 module type S = sig
   type 'a loc
 

@@ -99,6 +99,7 @@ type config = {
   multi_pct : int;  (* % of requests issued as same-shard multi-puts *)
   multi_k : int;  (* keys per multi-put (capped at the shard's pool) *)
   rmw_pct : int;  (* % of requests issued as read-modify-writes *)
+  detect : bool;  (* descriptor-based (detectable) recovery *)
 }
 
 let default_config =
@@ -125,7 +126,8 @@ let default_config =
     plan = None;
     multi_pct = 0;
     multi_k = 4;
-    rmw_pct = 0 }
+    rmw_pct = 0;
+    detect = false }
 
 type latency = { p50 : int; p95 : int; p99 : int; lmax : int; mean : float }
 
@@ -202,6 +204,13 @@ let run (c : config) : report =
     | Some f -> f
     | None -> invalid_arg (Printf.sprintf "service: unknown policy %S" c.flavour)
   in
+  if not (I.supports flavour c.structure) then
+    invalid_arg
+      (Printf.sprintf "service: policy %S does not support structure %S"
+         c.flavour c.structure);
+  (* resolve the flavour's structure variant (SOFT's rewritten list,
+     the detectable wrapper) before the slices instantiate stores *)
+  let structure = I.structure_for flavour c.structure structure in
   let domains = max 1 (min c.domains c.shards) in
   let epoch = max 1 c.merge_epoch in
   (* The group commit interval, in whole epochs: commit boundaries fall
@@ -241,7 +250,7 @@ let run (c : config) : report =
     Array.init domains (fun g ->
         Machine.set_current machines.(g);
         Service.create ~slice:(g, domains) ~commit_interval ~checkpoint
-          ~structure ~flavour ~shards:c.shards ~mode:c.mode ())
+          ~detect:c.detect ~structure ~flavour ~shards:c.shards ~mode:c.mode ())
   in
   let prefill =
     List.filter (fun k -> k < c.key_range)
@@ -614,7 +623,26 @@ let run (c : config) : report =
               "recovery: client=%d seq=%d acknowledged without an observed \
                commit"
               cl sq)
-      recs
+      recs;
+    (* Detect mode's own obligation: at the recovered quiescent point
+       every acknowledged request must answer [Completed] to the status
+       query of the slice that owns its key — a descriptor lost (or a
+       stale one mistaken for valid) surfaces here as a liveness lie
+       rather than waiting for a re-send to double-apply. *)
+    if c.detect then
+      Hashtbl.iter
+        (fun (cl, sq) (x : rec_) ->
+          if x.r_acks > 0 then begin
+            let svc = services.(group_of_key (Service.key_of_op x.r_op)) in
+            match Service.op_status svc ~client:cl ~seq:sq with
+            | Nvt_nvm.Detectable.Completed, _ -> ()
+            | st, _ ->
+              violation
+                "detect: client=%d seq=%d acknowledged but status says %s"
+                cl sq
+                (Nvt_nvm.Detectable.status_name st)
+          end)
+        recs
   in
   (* One era: start the services, re-send outstanding requests, then
      advance all machines barrier by barrier until they complete, the
@@ -926,9 +954,10 @@ let flushes_per_op r =
 let pp_report ppf r =
   let c = r.config in
   Format.fprintf ppf
-    "@[<v>service %s/%s shards=%d domains=%d clients=%d mode=%s dist=%s\n"
+    "@[<v>service %s/%s shards=%d domains=%d clients=%d mode=%s%s dist=%s\n"
     c.structure c.flavour c.shards c.domains c.clients
     (Service.mode_name c.mode)
+    (if c.detect then "+detect" else "")
     (if c.skew <= 0.0 then "uniform" else Printf.sprintf "zipf(%.2f)" c.skew);
   Format.fprintf ppf
     "  acked %d/%d  applies %d  resent %d  dedup %d  audit %d@,"
@@ -965,6 +994,7 @@ let mode_json (r : report) : Nvt_harness.Json.t =
   let open Nvt_harness.Json in
   Obj
     [ ("mode", Str (Service.mode_name r.config.mode));
+      ("detect", Bool r.config.detect);
       ("acked", Int r.acked);
       ("applies", Int r.applies);
       ("resent", Int r.resent);

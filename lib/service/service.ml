@@ -177,6 +177,20 @@ type completion = {
 (* Last applied request per client, for deduplication of re-sends. *)
 type dedup = { d_seq : int; d_res : result; d_shard : int; d_slot : int }
 
+(* Detect mode: one durable completion descriptor, written whole into a
+   single cell (cell = cache-line granularity, so identity, position
+   and result persist atomically). Each client owns a pair of cells
+   written round-robin: the previous committed descriptor survives
+   until the next one's commit fence has passed, so a crash between a
+   descriptor's flush and its batch's commit fence can invalidate at
+   most the newer cell. A descriptor is {e valid} iff its slot is below
+   its shard's durable commit index — the flush rides the batch's
+   ledger fence, strictly before the index commits, so validity is
+   exactly "this completion durably happened". *)
+type desc_rec = { r_seq : int; r_shard : int; r_slot : int; r_res : result }
+
+let null_desc = { r_seq = -1; r_shard = -1; r_slot = -1; r_res = Done false }
+
 type t = {
   mode : mode;
   shards : shard array;  (* the slice's local shards only *)
@@ -198,6 +212,12 @@ type t = {
   policy_recover : unit -> unit;
   svc_fence : string -> unit;
   poll_quantum : int;
+  detect : bool;  (* descriptor-based recovery instead of log replay *)
+  desc_put : int -> desc_rec -> unit;  (* client -> record; write+flush *)
+  desc_reset : unit -> unit;  (* begin_recovery: clear the kept table *)
+  desc_recover : shard:int -> index:int -> (int -> dedup -> unit) -> unit;
+      (* merge this shard's valid descriptors into the dedup table and
+         durably null the stale ones (see [recover_shard]) *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -338,7 +358,8 @@ let global_of_local t i = t.group + (i * t.stride)
 let slice t = (t.group, t.stride)
 
 let create ?(poll_quantum = 100) ?(slice = (0, 1)) ?commit_interval
-    ?(checkpoint = 0) ~structure ~(flavour : I.flavour) ~shards:n ~mode () =
+    ?(checkpoint = 0) ?(detect = false) ~structure ~(flavour : I.flavour)
+    ~shards:n ~mode () =
   if n < 1 then invalid_arg "service: shards must be >= 1";
   let group, stride = slice in
   if stride < 1 || group < 0 || group >= stride then
@@ -352,6 +373,86 @@ let create ?(poll_quantum = 100) ?(slice = (0, 1)) ?commit_interval
   let policy = flavour.policy in
   let (module Pol : I.POLICY) = policy in
   let module L = Pol.Apply (Sim_mem) in
+  let svc_fence site =
+    if not (Nvt_nvm.Suppress.fence_killed site) then begin
+      Stats.set_site site;
+      L.Mem.fence ()
+    end
+  in
+  (* Detect mode's descriptor store. The table and each pair's turn
+     counter are plain OCaml — NVRAM allocator metadata, like a
+     registry of roots; they carry no durability information (recovery
+     re-derives validity from the cells and the durable indices, and
+     re-aims the turn at the losing cell). *)
+  let desc_tbl : (int, desc_rec L.Mem.loc array * int ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let desc_flush c =
+    if not (Nvt_nvm.Suppress.flush_killed "svc:desc_flush") then begin
+      Stats.set_site "svc:desc_flush";
+      L.Mem.flush c
+    end
+  in
+  let desc_put client r =
+    let cells, turn =
+      match Hashtbl.find_opt desc_tbl client with
+      | Some p -> p
+      | None ->
+        let p = ([| L.Mem.alloc null_desc; L.Mem.alloc null_desc |], ref 0) in
+        Hashtbl.add desc_tbl client p;
+        p
+    in
+    let c = cells.(!turn) in
+    turn := 1 - !turn;
+    L.Mem.write c r;
+    desc_flush c
+  in
+  (* client -> best merged seq of the recovery in progress; shared by
+     the per-shard passes so the turn ends up aimed away from the
+     overall winner even when a client's two descriptors live on
+     different shards (updates are plain OCaml between simulated
+     accesses, hence atomic under the fiber scheduler). *)
+  let desc_kept : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let desc_reset () = Hashtbl.reset desc_kept in
+  let desc_recover ~shard:si ~index:idx merge =
+    let stale = ref [] in
+    Hashtbl.iter
+      (fun client (cells, turn) ->
+        Array.iteri
+          (fun ci c ->
+            match L.Mem.read c with
+            | exception Nvt_nvm.Memory.Corrupt_read _ ->
+              (* never persisted: equivalent to an absent descriptor *)
+              ()
+            | r ->
+              if r.r_shard = si then
+                if r.r_seq >= 0 && r.r_slot < idx then begin
+                  merge client
+                    { d_seq = r.r_seq; d_res = r.r_res; d_shard = si;
+                      d_slot = r.r_slot };
+                  match Hashtbl.find_opt desc_kept client with
+                  | Some s when s >= r.r_seq -> ()
+                  | _ ->
+                    Hashtbl.replace desc_kept client r.r_seq;
+                    turn := 1 - ci
+                end
+                else
+                  (* A readable descriptor whose slot the durable index
+                     does not cover claims a completion that never
+                     durably happened. It must be nulled *now*, durably,
+                     before the service commits anything new: truncation
+                     re-uses slot numbers, so a later era's advancing
+                     index would otherwise lend it false validity. *)
+                  stale := c :: !stale)
+          cells)
+      desc_tbl;
+    List.iter
+      (fun c ->
+        L.Mem.write c null_desc;
+        desc_flush c)
+      !stale;
+    if !stale <> [] then svc_fence "svc:desc_fence"
+  in
   let local = if group >= n then 0 else (n - group + stride - 1) / stride in
   let shards =
     Array.init local (fun _ ->
@@ -383,13 +484,12 @@ let create ?(poll_quantum = 100) ?(slice = (0, 1)) ?commit_interval
     on_ack = (fun _ _ ~dedup:_ -> ());
     on_commit = (fun _ ~shard:_ ~slot:_ -> ());
     policy_recover = L.recover;
-    svc_fence =
-      (fun site ->
-        if not (Nvt_nvm.Suppress.fence_killed site) then begin
-          Stats.set_site site;
-          L.Mem.fence ()
-        end);
-    poll_quantum }
+    svc_fence;
+    poll_quantum;
+    detect;
+    desc_put;
+    desc_reset;
+    desc_recover }
 
 let set_on_apply t f = t.on_apply <- f
 let set_on_ack t f = t.on_ack <- f
@@ -450,6 +550,16 @@ let commit t = function
         let sh = t.shards.(it.c_shard) in
         if it.c_slot >= sh.base then sh.ledger.flush_entry it.c_slot)
       items;
+    (* detect mode: the batch's completion descriptors ride the same
+       ledger fence as the entries — zero extra fences — and become
+       valid only once the index commits below *)
+    if t.detect then
+      List.iter
+        (fun it ->
+          t.desc_put it.c_req.client
+            { r_seq = it.c_req.seq; r_shard = it.c_shard;
+              r_slot = it.c_slot; r_res = it.c_res })
+        items;
     t.svc_fence "svc:ledger_fence";
     let touched = Hashtbl.create 8 in
     List.iter
@@ -515,6 +625,17 @@ let checkpoint_shard t si =
       for slot = sh.committed to upto - 1 do
         sh.ledger.flush_entry slot
       done;
+      (* detect mode: a force-committed entry must not outrun its
+         descriptor — a crash between this checkpoint's commit and the
+         entry's normal (acknowledging) commit would otherwise leave a
+         committed request invisible to descriptor recovery, and its
+         re-send would double-apply *)
+      if t.detect then
+        for slot = sh.committed to upto - 1 do
+          let e = sh.ledger.read_entry slot in
+          t.desc_put e.e_client
+            { r_seq = e.e_seq; r_shard = si; r_slot = slot; r_res = e.e_res }
+        done;
       t.svc_fence "svc:ledger_fence";
       sh.ledger.write_index upto;
       sh.ledger.flush_index ();
@@ -680,7 +801,8 @@ let begin_recovery t =
   t.policy_recover ();
   t.stop <- false;
   Queue.clear t.pending;
-  Hashtbl.reset t.last
+  Hashtbl.reset t.last;
+  t.desc_reset ()
 
 (* Recover one shard: durable index -> truncate (retiring dropped
    cells) -> restore the checkpoint snapshot -> replay the remaining
@@ -703,12 +825,17 @@ let recover_shard t si =
       0
     | Some (upto, pairs, dedup) ->
       Array.iter (fun (k, v) -> Hashtbl.replace sh.mirror k v) pairs;
-      Array.iter
-        (fun kd ->
-          merge_last t kd.k_client
-            { d_seq = kd.k_seq; d_res = kd.k_res; d_shard = si;
-              d_slot = kd.k_slot })
-        dedup;
+      (* detect mode rebuilds the dedup table from descriptors alone:
+         the checkpoint's dedup records are each client's last
+         committed position as of the cut, and the descriptor pair
+         holds something at least as recent *)
+      if not t.detect then
+        Array.iter
+          (fun kd ->
+            merge_last t kd.k_client
+              { d_seq = kd.k_seq; d_res = kd.k_res; d_shard = si;
+                d_slot = kd.k_slot })
+          dedup;
       upto
   in
   sh.ledger.drop_below base;
@@ -717,9 +844,11 @@ let recover_shard t si =
   for slot = base to idx - 1 do
     let e = sh.ledger.read_entry slot in
     mirror_apply sh e.e_op;
-    merge_last t e.e_client
-      { d_seq = e.e_seq; d_res = e.e_res; d_shard = si; d_slot = slot }
+    if not t.detect then
+      merge_last t e.e_client
+        { d_seq = e.e_seq; d_res = e.e_res; d_shard = si; d_slot = slot }
   done;
+  if t.detect then t.desc_recover ~shard:si ~index:idx (merge_last t);
   (* The committed log is the truth: undo the persisted effects of
      applies that never committed by reconciling the store to the
      rebuilt mirror. Idempotent ops (put/del) masked this window — a
@@ -773,6 +902,31 @@ let committed_total t =
 let checkpoints_taken t = t.ckpt_count
 let truncated_slots t = t.truncated
 let replayed_slots t = t.replayed
+let detect_enabled t = t.detect
+
+(* Status query for a (client, seq) this slice has seen — what a
+   re-connecting client may conclude without re-sending. [Completed]:
+   the request durably committed (with its result when it is the
+   client's latest). In detect mode an absent record is [Not_applied]:
+   every committed completion wrote a descriptor before its ack, and
+   recovery reconciled away any uncommitted effects, so a re-send is
+   safe and will not double-apply. Without descriptors the dedup table
+   is rebuilt only from the *retained* log, so absence proves nothing:
+   [Unknown]. *)
+let op_status t ~client ~seq : Nvt_nvm.Detectable.status * result option =
+  match Hashtbl.find_opt t.last client with
+  | Some d when d.d_seq = seq ->
+    if t.shards.(d.d_shard).committed > d.d_slot then
+      (Nvt_nvm.Detectable.Completed, Some d.d_res)
+    else (Nvt_nvm.Detectable.Unknown, None)
+  | Some d when d.d_seq > seq ->
+    (* a sequential client submits seq n+1 only after seq n was
+       acknowledged, so a later committed request vouches for this one *)
+    (Nvt_nvm.Detectable.Completed, None)
+  | Some _ | None ->
+    ( (if t.detect then Nvt_nvm.Detectable.Not_applied
+       else Nvt_nvm.Detectable.Unknown),
+      None )
 
 let checkpoint_state t =
   Array.map
@@ -799,6 +953,9 @@ let inject_committed t entries =
       let slot = sh.next_slot in
       sh.ledger.append slot e;
       sh.ledger.flush_entry slot;
+      if t.detect then
+        t.desc_put e.e_client
+          { r_seq = e.e_seq; r_shard = si; r_slot = slot; r_res = e.e_res };
       sh.next_slot <- slot + 1;
       mirror_apply sh e.e_op;
       sh.ledger.write_index sh.next_slot;

@@ -79,6 +79,7 @@ val create :
   ?slice:int * int ->
   ?commit_interval:int ->
   ?checkpoint:int ->
+  ?detect:bool ->
   structure:(module Nvt_harness.Instances.STRUCTURE) ->
   flavour:Nvt_harness.Instances.flavour ->
   shards:int ->
@@ -106,7 +107,22 @@ val create :
     exactly). In per-op mode each worker checkpoints its own shard at
     the interval; in group mode the committer checkpoints every local
     shard after a boundary commit — in both cases on the thread that
-    owns the commit index. *)
+    owns the commit index.
+
+    [detect] (default [false]) switches the per-client deduplication
+    table to detectable-recovery descriptors: each committed batch
+    writes one completion descriptor per request — a single cell
+    holding (seq, shard, slot, result), flushed under the batch's
+    existing ledger fence (site [svc:desc_flush], zero extra fences) —
+    into the client's round-robin cell pair, and recovery rebuilds the
+    table from the descriptor cells instead of replaying the committed
+    log (the replay still rebuilds each shard's store mirror). A
+    descriptor counts only if its slot is below its shard's durable
+    commit index; stale descriptors are durably nulled during recovery
+    ([svc:desc_fence]) before the service commits anything new. The
+    exactly-once guarantees are unchanged; what detect mode adds is a
+    sound {!op_status} answer of [Not_applied] for requests that never
+    committed. *)
 
 val prefill : t -> int list -> unit
 (** Load keys (value = key) directly into the shard stores, bypassing
@@ -184,6 +200,19 @@ val checkpoints_taken : t -> int
 
 val truncated_slots : t -> int
 (** Log slots dropped (and their cells retired) by checkpoints. *)
+
+val detect_enabled : t -> bool
+(** Whether this instance was created with [?detect:true]. *)
+
+val op_status :
+  t -> client:int -> seq:int -> Nvt_nvm.Detectable.status * result option
+(** What this slice can prove about request [(client, seq)] — the
+    detectable-recovery query, meaningful at a quiescent point (e.g.
+    after recovery): [Completed] iff the request durably committed
+    (with its recorded result when it is the client's latest request);
+    [Not_applied] — only ever answered in detect mode — iff it never
+    committed and its effects were reconciled away, so a re-send is
+    safe; [Unknown] otherwise. *)
 
 val replayed_slots : t -> int
 (** Committed log entries replayed by this instance's recovery passes

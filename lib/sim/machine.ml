@@ -29,8 +29,10 @@
 module Stats = Nvt_nvm.Stats
 module Cost_model = Nvt_nvm.Cost_model
 
-exception Corrupt_read of int
-(** Raised when reading a cell whose contents were lost in a crash. *)
+exception Corrupt_read = Nvt_nvm.Memory.Corrupt_read
+(** Raised when reading a cell whose contents were lost in a crash.
+    Rebinds {!Nvt_nvm.Memory.Corrupt_read} so recovery code written
+    against the backend-agnostic interface catches the same exception. *)
 
 exception Crashed
 (* Used internally to tear down fibers at a crash. *)

@@ -15,7 +15,9 @@
 
 exception Corrupt_read of int
 (** Reading a cell whose contents were lost in a crash. The payload is
-    the cell id. *)
+    the cell id. Implemented as a rebinding of
+    {!Nvt_nvm.Memory.Corrupt_read}, so code written against the
+    backend-agnostic memory interface catches the same exception. *)
 
 type eviction =
   | No_eviction  (** only explicit flush+fence persists anything *)

@@ -16,6 +16,8 @@ let () =
       ("priority_queue", Test_pqueue.suite);
       ("native_domains", Test_native.suite);
       ("crash_sweep", Test_crash_sweep.suite);
+      ("soft", Test_soft.suite);
+      ("detectable", Test_detectable.suite);
       ("service", Test_service.suite);
       ("domains", Test_domains.suite);
       ("telemetry", Test_telemetry.suite);

@@ -80,7 +80,9 @@ let sweep name (module S : SET) ~eviction () =
 let list_sweeps =
   List.concat_map
     (fun (f : I.flavour) ->
-      let set = I.instantiate (module Nvt_structures.Harris_list) f.policy in
+      let set =
+        I.instantiate_flavour f "list" (module Nvt_structures.Harris_list)
+      in
       [ Alcotest.test_case
           (Printf.sprintf "harris list, %s (no eviction)" f.key)
           `Quick
@@ -229,7 +231,11 @@ let cont_sweep name (mk : unit -> cont) ~eviction () =
   done
 
 (* Every container shape under every durable registry policy, plus an
-   eviction-adversary pass under the paper's own transformation. *)
+   eviction-adversary pass under the paper's own transformation. The
+   containers aren't registry structures, so the structure-specific
+   flavours (SOFT's list rewrite, the detectable set wrapper) are
+   skipped: applying their bare persist policy here would just rerun
+   nvt under another name. *)
 let cont_sweeps =
   List.concat_map
     (fun (shape, mk) ->
@@ -241,7 +247,7 @@ let cont_sweeps =
             (cont_sweep
                (Printf.sprintf "%s/%s" shape f.key)
                (mk f.policy) ~eviction:Machine.No_eviction))
-        I.durable_flavours
+        (List.filter (fun (f : I.flavour) -> f.only = None) I.durable_flavours)
       @ [ (match I.flavour "nvt" with
           | Some f ->
             Alcotest.test_case

@@ -1,0 +1,200 @@
+(* The detectable-recovery status query: after a crash, every
+   descriptor's answer must be sound in both directions, at every crash
+   point of a single-client unique-key workload (each key is touched by
+   exactly one update, so the structure's post-recovery contents are the
+   ground truth for whether that update's effect persisted):
+
+   - [Completed] only for operations whose effect is durably visible
+     (an insert's key present with its value, a delete's key absent —
+     when the operation answered true);
+   - [Not_applied] only for operations that made no durable mark;
+   - a returned operation always reads [Completed] (the recovery audit,
+     re-checked here explicitly).
+
+   Two negative controls pin the teeth:
+   - the wrapper over the volatile policy: descriptors never persist,
+     so recovery's audit must raise on the first crashed run that has a
+     returned update — [Completed] claims are backed by the complete
+     fence, not by bookkeeping;
+   - suppressing det:announce: a crash mid-operation (after the
+     structure persisted the effect, before the complete fence) leaves
+     a corrupt descriptor, turning an honest [Unknown] into an unsound
+     [Not_applied] — exactly the one-sided loss the mutation allowlist
+     documents for that site. *)
+
+open Support
+module Det = I.Det_l.Durable
+module Dv = I.Det_l.Volatile
+
+(* The fixed unique-key workload: era 1 inserts fresh keys, deletes one
+   of its own earlier inserts and one key that was prefilled durable —
+   so the sweep crosses insert and delete windows with every key still
+   owned by a single update. *)
+let unique_key_era s =
+  for i = 0 to 3 do
+    ignore (Det.insert s ~key:(10 + i) ~value:(100 + i))
+  done;
+  ignore (Det.delete s 10);
+  ignore (Det.delete s 1)
+
+let prefill m s =
+  ignore (Det.insert s ~key:1 ~value:1);
+  ignore (Det.insert s ~key:2 ~value:2);
+  Machine.persist_all m
+
+let total_steps () =
+  let m = Machine.create ~seed:3 () in
+  let s = Det.create () in
+  prefill m s;
+  ignore (Machine.spawn m (fun () -> unique_key_era s));
+  (match Machine.run m with
+  | Machine.Completed -> ()
+  | Machine.Crashed_at _ -> assert false);
+  Machine.steps m
+
+(* Check every descriptor of a recovered run against the structure's
+   contents; returns the unsound claims. [records] is newest-first, so
+   while iterating, a key already seen means a *later* operation owns
+   the key's current state and this record's effect was legitimately
+   overwritten — its visibility proves nothing either way. *)
+let unsound_claims s =
+  let d = Det.descriptors s in
+  let newer = Hashtbl.create 8 in
+  List.concat_map
+    (fun r ->
+      let what, key, effect_visible =
+        match Det.D.op r with
+        | Nvm.Detectable.Op_insert (k, v) ->
+          (Printf.sprintf "insert %d" k, k, Det.find s k = Some v)
+        | Nvm.Detectable.Op_delete k ->
+          (Printf.sprintf "delete %d" k, k, not (Det.member s k))
+      in
+      let overwritten = Hashtbl.mem newer key in
+      Hashtbl.replace newer key ();
+      let answered = Det.D.result r in
+      let status = Det.D.status r in
+      (if Det.D.returned r && status <> Nvm.Detectable.Completed then
+         [ what ^ ": returned but not durably completed" ]
+       else [])
+      @
+      match status with
+      | Nvm.Detectable.Completed ->
+        (* a completed op whose answer was [true] must have left its
+           durable mark; [false] answers (duplicate insert, absent
+           delete) have no effect to check *)
+        if answered = Some true && not (effect_visible || overwritten) then
+          [ what ^ ": claims completed but the effect is gone" ]
+        else []
+      | Nvm.Detectable.Not_applied ->
+        if effect_visible && not overwritten then
+          [ what ^ ": claims not-applied but the effect persisted" ]
+        else []
+      | Nvm.Detectable.Unknown -> [])
+    (Det.D.records d)
+
+(* The sweep: crash at every step, recover, hold every status claim
+   against the ground truth. Returns how many crash points produced at
+   least one unsound claim. *)
+let sweep_unsound total =
+  let bad = ref 0 in
+  for crash_step = 1 to total do
+    let m = Machine.create ~seed:3 () in
+    let s = Det.create () in
+    prefill m s;
+    ignore (Machine.spawn m (fun () -> unique_key_era s));
+    Machine.set_crash_at_step m crash_step;
+    (match Machine.run m with
+    | Machine.Completed -> ()
+    | Machine.Crashed_at _ -> Det.recover s);
+    if unsound_claims s <> [] then incr bad
+  done;
+  !bad
+
+let status_sound_at_every_crash_point () =
+  let total = total_steps () in
+  let bad = sweep_unsound total in
+  if bad > 0 then
+    Alcotest.failf "%d of %d crash points produced unsound status claims"
+      bad total
+
+(* Era matrix: crash, recover, run a second era, crash again — statuses
+   from both eras' descriptors must stay sound, and the recovery audit
+   must keep holding returned operations to [Completed]. *)
+let status_sound_across_eras () =
+  List.iter
+    (fun (c1, c2) ->
+      let m = Machine.create ~seed:9 () in
+      let s = Det.create () in
+      prefill m s;
+      ignore (Machine.spawn m (fun () -> unique_key_era s));
+      Machine.set_crash_at_step m c1;
+      (match Machine.run m with
+      | Machine.Completed -> Alcotest.fail "first era did not crash"
+      | Machine.Crashed_at _ -> Det.recover s);
+      (match unsound_claims s with
+      | [] -> ()
+      | c :: _ -> Alcotest.failf "era 1 (crash %d): %s" c1 c);
+      ignore
+        (Machine.spawn m (fun () ->
+             for i = 0 to 3 do
+               ignore (Det.insert s ~key:(30 + i) ~value:(300 + i))
+             done;
+             ignore (Det.delete s 30)));
+      Machine.set_crash_at_step m (Machine.steps m + c2);
+      (match Machine.run m with
+      | Machine.Completed -> ()
+      | Machine.Crashed_at _ -> Det.recover s);
+      match unsound_claims s with
+      | [] -> ()
+      | c :: _ -> Alcotest.failf "era 2 (crashes %d, %d): %s" c1 c2 c)
+    [ (25, 20); (40, 35); (60, 10); (80, 50) ]
+
+(* Negative control 1: descriptors through the volatile policy never
+   persist, so the first crashed run with a returned update must fail
+   recovery's audit. *)
+let volatile_wrapper_fails_audit () =
+  let m = Machine.create ~seed:5 () in
+  let s = Dv.create () in
+  ignore
+    (Machine.spawn m (fun () ->
+         for i = 0 to 3 do
+           ignore (Dv.insert s ~key:i ~value:i)
+         done));
+  (match Machine.run m with
+  | Machine.Completed -> ()
+  | Machine.Crashed_at _ -> assert false);
+  (* crash after completion: every descriptor returned, none durable *)
+  ignore (Machine.spawn m (fun () -> ignore (Dv.member s 0)));
+  Machine.set_crash_at_step m (Machine.steps m + 1);
+  (match Machine.run m with
+  | Machine.Completed -> Alcotest.fail "machine did not crash"
+  | Machine.Crashed_at _ -> ());
+  match Dv.recover s with
+  | () -> Alcotest.fail "volatile descriptors passed the recovery audit"
+  | exception Failure _ -> ()
+
+(* Negative control 2: with det:announce suppressed, some crash point
+   must yield an unsound [Not_applied] — the suppression turns the
+   descriptor corrupt while the structure's own persistence keeps the
+   effect. This is the one-sidedness that keeps det:announce on the
+   mutation allowlist rather than provably redundant. *)
+let announce_suppression_is_unsound () =
+  let total = total_steps () in
+  Nvm.Suppress.set (Some "det:announce");
+  Fun.protect
+    ~finally:(fun () -> Nvm.Suppress.set None)
+    (fun () ->
+      if sweep_unsound total = 0 then
+        Alcotest.fail
+          "suppressing det:announce never produced an unsound claim — \
+           the soundness sweep has no teeth")
+
+let suite =
+  [ Alcotest.test_case "status sound at every crash point" `Quick
+      status_sound_at_every_crash_point;
+    Alcotest.test_case "status sound across crash eras" `Quick
+      status_sound_across_eras;
+    Alcotest.test_case "volatile wrapper fails the recovery audit (control)"
+      `Quick volatile_wrapper_fails_audit;
+    Alcotest.test_case "suppressing det:announce is unsound (control)" `Quick
+      announce_suppression_is_unsound ]

@@ -37,7 +37,7 @@ let recovery_completes_descriptors () =
   done
 
 let suite =
-  structure_suite (module Nvt_structures.Ellen_bst)
+  structure_suite ~key:"bst-ellen" (module Nvt_structures.Ellen_bst)
   @ [ Alcotest.test_case "shapes" `Quick shapes;
       Alcotest.test_case "recovery completes descriptors" `Quick
         recovery_completes_descriptors ]

@@ -33,7 +33,7 @@ let recovery_trims_marked () =
   done
 
 let suite =
-  structure_suite (module Nvt_structures.Harris_list)
+  structure_suite ~key:"list" (module Nvt_structures.Harris_list)
   @ [ Alcotest.test_case "ordering" `Quick ordering;
       Alcotest.test_case "recovery trims marked nodes" `Quick
         recovery_trims_marked ]

@@ -53,7 +53,7 @@ let generic_buckets () =
   check_against_model (module T2) ~seed:22 ~n:1500 ~key_range:64 ()
 
 let suite =
-  structure_suite (module I.Hash_sized)
+  structure_suite ~key:"hash" (module I.Hash_sized)
   @ [ Alcotest.test_case "collisions" `Quick collisions;
       Alcotest.test_case "model: 2-bucket directory" `Quick
         small_directory_model;

@@ -41,7 +41,7 @@ let recovery_completes_deletes () =
   done
 
 let suite =
-  structure_suite (module Nvt_structures.Natarajan_bst)
+  structure_suite ~key:"bst-nm" (module Nvt_structures.Natarajan_bst)
   @ [ Alcotest.test_case "shapes" `Quick shapes;
       Alcotest.test_case "recovery completes deletes" `Quick
         recovery_completes_deletes ]

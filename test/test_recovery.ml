@@ -438,7 +438,9 @@ let checkpointed_histories_domain_independent () =
 let list_cases =
   List.concat_map
     (fun (f : I.flavour) ->
-      let set = I.instantiate (module Nvt_structures.Harris_list) f.policy in
+      let set =
+        I.instantiate_flavour f "list" (module Nvt_structures.Harris_list)
+      in
       [ Alcotest.test_case
           (Printf.sprintf "crash during recovery: list, %s" f.key)
           `Quick

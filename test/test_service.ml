@@ -197,6 +197,86 @@ let volatile_control () =
       "volatile service survived every crash; the oracle is not detecting \
        lost acknowledged state"
 
+(* Detectable recovery at the service layer: descriptor-based dedup
+   rebuild under crashes and checkpoints (slot reuse is what the stale
+   descriptor nulling defends), with the runner's op_status oracle
+   armed — every acknowledged request must answer [Completed] at every
+   recovered quiescent point. *)
+let detect_exactly_once () =
+  for seed = 0 to 2 do
+    let cfg =
+      { base with
+        structure = "hash";
+        flavour = "nvt";
+        detect = true;
+        mode = Service.Group { batch = 8; timeout = 1500 };
+        checkpoint_interval = 1500;
+        seed = seed + 1;
+        crash_steps = [ 900 + (211 * seed); 800 ] }
+    in
+    let r = Runner.run cfg in
+    check_clean (Printf.sprintf "detect seed %d" seed) r;
+    if r.crashes_fired < 2 then
+      Alcotest.failf "detect seed %d: only %d/2 crashes fired" seed
+        r.crashes_fired;
+    (* descriptors actually carried the recovery: the flush site is live *)
+    match List.assoc_opt "svc:desc_flush" (Stats.sites r.stats) with
+    | Some s when s.Stats.s_flushes > 0 -> ()
+    | _ -> Alcotest.failf "detect seed %d: svc:desc_flush never fired" seed
+  done;
+  (* the det policy combo: store-level descriptors and service-level
+     descriptors in the same run *)
+  let r =
+    Runner.run
+      { base with
+        flavour = "det";
+        detect = true;
+        seed = 7;
+        crash_steps = [ 700; 700 ] }
+  in
+  check_clean "det policy + detect recovery" r
+
+(* The status query itself, at the service surface: in detect mode an
+   unseen (client, seq) soundly answers [Not_applied]; without detect
+   the dedup table cannot distinguish never-committed from merely
+   unseen, so the same query answers [Unknown]; and a durably committed
+   entry answers [Completed] with its recorded result after recovery. *)
+let detect_status_query () =
+  let _m = Machine.create ~seed:1 () in
+  let fl =
+    match Nvt_harness.Instances.flavour "nvt" with
+    | Some f -> f
+    | None -> assert false
+  in
+  let mk detect =
+    Service.create ~detect
+      ~structure:(module Nvt_structures.Harris_list)
+      ~flavour:fl ~shards:1 ~mode:Service.Per_op ()
+  in
+  let sd = mk true and sn = mk false in
+  Alcotest.(check bool) "detect_enabled" true (Service.detect_enabled sd);
+  Alcotest.(check bool) "not detect_enabled" false (Service.detect_enabled sn);
+  let name (st, _) = Nvt_nvm.Detectable.status_name st in
+  Alcotest.(check string)
+    "detect: unseen request is not-applied" "not-applied"
+    (name (Service.op_status sd ~client:7 ~seq:0));
+  Alcotest.(check string)
+    "no detect: unseen request is unknown" "unknown"
+    (name (Service.op_status sn ~client:7 ~seq:0));
+  Service.inject_committed sd
+    [ { Service.e_client = 3; e_seq = 0; e_op = Service.Put (1, 1);
+        e_res = Service.Done true } ];
+  Service.recover sd;
+  (match Service.op_status sd ~client:3 ~seq:0 with
+  | Nvt_nvm.Detectable.Completed, Some (Service.Done true) -> ()
+  | st, _ ->
+    Alcotest.failf "committed request answers %s, not completed"
+      (Nvt_nvm.Detectable.status_name st));
+  (* a later seq for the same client supersedes: still not-applied *)
+  Alcotest.(check string)
+    "detect: next seq not yet applied" "not-applied"
+    (name (Service.op_status sd ~client:3 ~seq:1))
+
 (* Latency sanity: percentiles are ordered and positive; open-loop
    latencies include queueing so p99 >= p50 > 0. *)
 let latency_sane () =
@@ -221,4 +301,8 @@ let suite =
     Alcotest.test_case "group fence count scales with batch" `Quick
       group_fence_count_scales;
     Alcotest.test_case "volatile negative control" `Quick volatile_control;
+    Alcotest.test_case "detectable recovery: exactly-once under crashes"
+      `Quick detect_exactly_once;
+    Alcotest.test_case "detectable recovery: status query" `Quick
+      detect_status_query;
     Alcotest.test_case "latency percentiles" `Quick latency_sane ]

@@ -55,7 +55,7 @@ let deterministic_heights () =
   done
 
 let suite =
-  structure_suite (module Nvt_structures.Skiplist)
+  structure_suite ~key:"skiplist" (module Nvt_structures.Skiplist)
   @ [ Alcotest.test_case "towers rebuilt after crash" `Quick towers_rebuilt;
       Alcotest.test_case "deterministic heights" `Quick deterministic_heights
     ]

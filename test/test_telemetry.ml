@@ -20,7 +20,7 @@ module Workload = Nvt_workload.Workload
 let run_flavour (f : I.flavour) =
   let scale = if f.key = "izraelevitz" then 0.1 else f.ops_scale in
   T.run
-    (I.instantiate (module Nvt_structures.Harris_list) f.policy)
+    (I.instantiate_flavour f "list" (module Nvt_structures.Harris_list))
     ~cost:Nvt_nvm.Cost_model.nvram ~seed:5
     { T.threads = 4;
       range = 64;
@@ -53,7 +53,9 @@ let sites_sum_to_aggregates () =
 
 (* Each durable policy's instrumentation must name where its flushes
    come from: at least three distinct non-[app] sites on an update-heavy
-   run, with real traffic behind them. *)
+   run, with real traffic behind them. SOFT is the exception — the
+   whole point of the algorithm is that it persists at exactly two
+   sites (insert and delete), so its floor is two. *)
 let durable_policies_name_their_sites () =
   List.iter
     (fun (f : I.flavour) ->
@@ -62,7 +64,8 @@ let durable_policies_name_their_sites () =
         List.filter (fun (n, _) -> n <> Stats.app_site)
           (Stats.sites r.T.stats)
       in
-      if List.length named < 3 then
+      let floor = if f.key = "soft" then 2 else 3 in
+      if List.length named < floor then
         Alcotest.failf "%s attributes to only %d named site(s): %s" f.key
           (List.length named)
           (String.concat ", " (List.map fst named));

@@ -225,6 +225,11 @@ def validate_recovery(rec):
 
 ATTACK_KINDS = {"crash", "stall", "evict", "window", "svc-crash"}
 
+# Policies whose minimality claims the repo publishes head-to-head: an
+# unexpected-unkilled site under any of these fails the gate (mirrors
+# Mutlab.gated_policies). Other policies' unkilled sites are findings.
+GATED_POLICIES = {"nvt", "soft", "det"}
+
 
 def validate_mutation(rep):
     gate = rep["gate"]
@@ -272,7 +277,7 @@ def validate_mutation(rep):
                         sr.get("reason"),
                         f"{key}/{site}: expected-unkilled without a reason",
                     )
-                elif fr["policy"] == "nvt":
+                elif fr["policy"] in GATED_POLICIES:
                     unexpected.append(key + (site,))
             else:
                 raise Invalid(f"{key}/{site}: unknown verdict {sr['verdict']!r}")
@@ -442,6 +447,82 @@ def validate_optimizer(opt):
     )
 
 
+# ----------------------------------------------------------- contenders
+
+
+def validate_contenders(doc):
+    micro = doc["micro"]
+    require(micro, "no micro rows")
+    by_key = {}
+    for r in micro:
+        key = (r["structure"], r["contender"])
+        require(key not in by_key, f"duplicate micro row {key}")
+        require(r["ops"] > 0, f"{key}: no operations")
+        for k in ("flushes", "fences"):
+            require(r[k] >= 0, f"{key}: negative {k}")
+            want = r[k] / r["ops"]
+            require(
+                close(r[f"{k}_per_op"], want),
+                f"{key}: {k}_per_op {r[f'{k}_per_op']} != recomputed {want:.6f}",
+            )
+        require(
+            isinstance(r["optimized"], bool), f"{key}: optimized not a bool"
+        )
+        require(
+            r["optimized"] == (r["contender"] == "nvt+opt"),
+            f"{key}: optimized flag inconsistent with contender key",
+        )
+        by_key[key] = r
+    for s in ("hash", "list"):
+        for c in ("nvt", "nvt+opt", "soft", "det"):
+            require((s, c) in by_key, f"missing micro row {(s, c)}")
+
+    # The headline gate, recomputed: SOFT under-persists plain nvt on
+    # the hash workload, and the optimizer never increases traffic.
+    ok = True
+    soft, nvt = by_key[("hash", "soft")], by_key[("hash", "nvt")]
+    if not (
+        soft["flushes_per_op"] < nvt["flushes_per_op"]
+        and soft["fences_per_op"] < nvt["fences_per_op"]
+    ):
+        ok = False
+    for s in ("hash", "list"):
+        base, opt = by_key[(s, "nvt")], by_key[(s, "nvt+opt")]
+        if opt["flushes"] > base["flushes"] or opt["fences"] > base["fences"]:
+            ok = False
+
+    svc = doc["service"]
+    require(svc, "no service rows")
+    seen = set()
+    for x in svc:
+        c = x["contender"]
+        require(c not in seen, f"duplicate service row {c}")
+        seen.add(c)
+        require(x["acked"] > 0, f"service {c}: no acks")
+        require(
+            x["detect"] == (x["policy"] == "det"),
+            f"service {c}: detect mode armed iff the det policy runs",
+        )
+        if x["violations"]:
+            ok = False
+    for c in ("nvt", "nvt+opt", "soft", "det"):
+        require(c in seen, f"missing service row {c}")
+
+    require(
+        doc["gate_ok"] == ok,
+        f"gate_ok={doc['gate_ok']} inconsistent with recomputed {ok}",
+    )
+    require(doc["gate_ok"] is True, "bench recorded gate_ok=false")
+    gap = 1.0 - soft["flushes_per_op"] / nvt["flushes_per_op"]
+    opt_gap = (
+        1.0 - by_key[("hash", "nvt+opt")]["flushes_per_op"] / nvt["flushes_per_op"]
+    )
+    return (
+        f"{len(micro)} micro rows, {len(svc)} service rows; hash flush/op "
+        f"cut vs nvt: soft {100 * gap:.1f}%, nvt+opt {100 * opt_gap:.1f}%"
+    )
+
+
 # ------------------------------------------------------------------ main
 
 VALIDATORS = {
@@ -454,6 +535,7 @@ VALIDATORS = {
     "nvtraverse-mutation/1": validate_mutation,
     "nvtraverse-mutation/2": validate_mutation2,
     "nvtraverse-optimizer/1": validate_optimizer,
+    "nvtraverse-contenders/1": validate_contenders,
 }
 
 
